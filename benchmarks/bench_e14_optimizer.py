@@ -1,0 +1,92 @@
+"""E14 (ablation) — Query-optimization enhancements on/off.
+
+The paper's final contribution is optimizer work: pushing predicates into
+scans, pruning columns, picking join sides, placing bitmaps. This
+ablation compiles the same logical plans with the rewrite pipeline
+disabled (`optimize=False`: filters stay above scans, scans read all
+columns, no bitmaps) and compares.
+
+Expected shape: the optimized plan wins on every query; the win is
+largest when pushdown enables segment elimination or column pruning
+drops wide columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_report, scaled
+from repro.bench.harness import ReportTable, time_call
+from repro.bench.star_schema import build_star_schema
+from repro.sql.runner import plan_query
+from repro.storage.config import StoreConfig
+
+QUERIES = [
+    ("narrow date range", "SELECT COUNT(*) AS n FROM store_sales WHERE ss_date_id BETWEEN 100 AND 120"),
+    ("one column of many", "SELECT SUM(ss_net_paid) AS s FROM store_sales"),
+    ("star join w/ dim filter",
+     "SELECT COUNT(*) AS n FROM store_sales s JOIN customer c "
+     "ON s.ss_customer_id = c.c_id WHERE c.c_region = 'east'"),
+    ("selective conjunction",
+     "SELECT COUNT(*) AS n FROM store_sales "
+     "WHERE ss_quantity > 15 AND ss_sales_price > 250 AND ss_date_id < 200"),
+]
+
+
+@pytest.fixture(scope="module")
+def star():
+    config = StoreConfig(rowgroup_size=16_384, bulk_load_threshold=1000)
+    return build_star_schema(scaled(150_000), storage="columnstore", seed=21, config=config)
+
+
+def run_ablation(star) -> list[dict]:
+    db = star.db
+    results = []
+    for label, sql in QUERIES:
+        plan_opt = plan_query(db, sql)
+        plan_naive = plan_query(db, sql)
+        optimized = db.compile(plan_opt, optimize=True)
+        naive = db.compile(plan_naive, optimize=False)
+        rows_opt = sorted(optimized.rows())
+        rows_naive = sorted(naive.rows())
+        assert rows_opt == rows_naive, f"optimization changed results for {label}"
+        t_opt = time_call(
+            lambda: list(db.compile(plan_query(db, sql), optimize=True).rows()),
+            repeat=3,
+        )
+        t_naive = time_call(
+            lambda: list(db.compile(plan_query(db, sql), optimize=False).rows()),
+            repeat=3,
+        )
+        results.append(
+            {
+                "label": label,
+                "opt_ms": t_opt.seconds * 1000,
+                "naive_ms": t_naive.seconds * 1000,
+            }
+        )
+    return results
+
+
+def test_e14_optimizer_ablation(benchmark, report_dir, star):
+    results = benchmark.pedantic(run_ablation, args=(star,), rounds=1, iterations=1)
+    report = ReportTable(
+        f"E14 (ablation): optimizer rewrites on vs off ({star.fact_rows:,} fact rows)",
+        ["query", "optimized ms", "naive plan ms", "win"],
+    )
+    for r in results:
+        report.add_row(
+            r["label"],
+            round(r["opt_ms"], 1),
+            round(r["naive_ms"], 1),
+            f"{r['naive_ms'] / max(r['opt_ms'], 1e-9):.1f}x",
+        )
+    report.add_note(
+        "naive = no pushdown / pruning / bitmap placement (filters above full scans)"
+    )
+    save_report(report_dir, "e14_optimizer.txt", report.render())
+
+    for r in results:
+        assert r["opt_ms"] <= r["naive_ms"] * 1.1, f"{r['label']}: optimizer must not lose"
+    best = max(r["naive_ms"] / r["opt_ms"] for r in results)
+    assert best >= 2.0, "at least one query should benefit substantially"

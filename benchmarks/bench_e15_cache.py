@@ -1,0 +1,85 @@
+"""E15 (extension) — Decoded-segment caching: cold vs warm scans.
+
+The 2011/2013 engine caches decompressed column segments in memory, so
+repeated scans of hot data skip decompression. We compare repeated query
+latency with the cache off (every scan decompresses) and on (first scan
+warms, later scans hit), on plain and archival-compressed data.
+
+Expected shape: warm scans with the cache beat cold scans; the win is
+largest for archival compression (whose decode is the most expensive).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_report, scaled
+from repro.bench.harness import ReportTable, time_call
+from repro.bench.star_schema import build_star_schema
+from repro.storage.config import StoreConfig
+
+QUERY = "SELECT SUM(ss_net_paid) AS s, AVG(ss_sales_price) AS p FROM store_sales"
+ROWS = scaled(150_000)
+
+
+def build(cache_bytes: int, archival: bool):
+    config = StoreConfig(
+        rowgroup_size=32_768,
+        bulk_load_threshold=1000,
+        segment_cache_bytes=cache_bytes,
+    )
+    star = build_star_schema(ROWS, storage="columnstore", seed=29, config=config)
+    if archival:
+        star.db.set_archival("store_sales", True)
+    return star
+
+
+def run_matrix() -> list[dict]:
+    results = []
+    for archival in (False, True):
+        baseline = None
+        for label, cache_bytes in (("cache off", 0), ("cache on (64 MiB)", 64 << 20)):
+            star = build(cache_bytes, archival)
+            star.db.sql(QUERY)  # warm (no-op when cache off)
+            timing = time_call(lambda: star.db.sql(QUERY), repeat=3)
+            index = star.db.table("store_sales").columnstore
+            hit_rate = (
+                index.segment_cache.stats.hit_rate if index.segment_cache else 0.0
+            )
+            if baseline is None:
+                baseline = timing.seconds
+            results.append(
+                {
+                    "storage": "archival" if archival else "plain",
+                    "label": label,
+                    "ms": timing.seconds * 1000,
+                    "hit_rate": hit_rate,
+                    "win": baseline / timing.seconds,
+                }
+            )
+    return results
+
+
+def test_e15_segment_cache(benchmark, report_dir):
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    report = ReportTable(
+        f"E15 (extension): decoded-segment cache, warm scans ({ROWS:,} rows)",
+        ["storage", "config", "query ms", "cache hit rate", "win vs cache-off"],
+    )
+    for r in results:
+        report.add_row(
+            r["storage"],
+            r["label"],
+            round(r["ms"], 1),
+            f"{r['hit_rate']:.0%}",
+            f"{r['win']:.1f}x",
+        )
+    report.add_note("cache models SQL Server's in-memory decompressed-segment cache")
+    save_report(report_dir, "e15_segment_cache.txt", report.render())
+
+    by_key = {(r["storage"], r["label"]): r for r in results}
+    plain_win = by_key[("plain", "cache on (64 MiB)")]["win"]
+    archive_win = by_key[("archival", "cache on (64 MiB)")]["win"]
+    assert plain_win > 1.1, "warm cached scans must beat decompress-every-time"
+    assert archive_win > plain_win, "archival decode is dearest, so caching wins most"
+    assert by_key[("plain", "cache on (64 MiB)")]["hit_rate"] > 0.5

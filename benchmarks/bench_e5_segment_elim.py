@@ -1,0 +1,103 @@
+"""E5 — Segment elimination: scan cost vs predicate width.
+
+Date-ordered fact data means narrow date-range predicates can skip whole
+row groups using only segment [min, max] metadata. We sweep the predicate
+width and compare scans with elimination on vs off.
+
+Expected shape: with elimination on, time falls roughly in proportion to
+the fraction of row groups touched; with it off, time stays flat.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report, scaled
+from repro.bench.harness import ReportTable, time_call
+from repro.bench.star_schema import build_star_schema
+from repro.exec.expressions import Between, col, lit
+from repro.exec.operators.scan import ColumnStoreScan
+from repro.storage.config import StoreConfig
+
+import pytest
+
+# (label, date-id range) — fact dates span [0, 730).
+SWEEP = [
+    ("1 day", (100, 100)),
+    ("1 week", (100, 106)),
+    ("1 month", (100, 129)),
+    ("1 quarter", (100, 189)),
+    ("half year", (100, 282)),
+    ("full range", (0, 729)),
+]
+
+
+@pytest.fixture(scope="module")
+def star():
+    # Row groups of 16k rows model a many-row-group fact table at bench
+    # scale (the paper's tables have thousands of 2^20-row groups).
+    config = StoreConfig(rowgroup_size=16_384)
+    return build_star_schema(scaled(200_000), storage="columnstore", seed=2, config=config)
+
+
+def scan_once(index, low, high, eliminate):
+    scan = ColumnStoreScan(
+        index,
+        ["ss_net_paid"],
+        predicate=Between(col("ss_date_id"), lit(low), lit(high)),
+        segment_elimination=eliminate,
+    )
+    total = 0
+    for batch in scan.batches():
+        total += batch.active_count
+    return scan, total
+
+
+def run_sweep(star) -> list[dict]:
+    index = star.db.table("store_sales").columnstore
+    results = []
+    for label, (low, high) in SWEEP:
+        scan_on, rows_on = scan_once(index, low, high, True)
+        timing_on = time_call(lambda: scan_once(index, low, high, True), repeat=3)
+        timing_off = time_call(lambda: scan_once(index, low, high, False), repeat=3)
+        _, rows_off = scan_once(index, low, high, False)
+        assert rows_on == rows_off, "elimination must not change results"
+        results.append(
+            {
+                "label": label,
+                "rows": rows_on,
+                "eliminated": scan_on.stats.units_eliminated,
+                "total_units": scan_on.stats.units_seen,
+                "on_ms": timing_on.seconds * 1000,
+                "off_ms": timing_off.seconds * 1000,
+            }
+        )
+    return results
+
+
+def test_e5_segment_elimination(benchmark, report_dir, star):
+    results = benchmark.pedantic(run_sweep, args=(star,), rounds=1, iterations=1)
+    report = ReportTable(
+        f"E5: segment elimination by date-range width "
+        f"({star.fact_rows:,} date-ordered fact rows)",
+        ["range", "qualifying rows", "groups skipped", "scan ms (elim on)",
+         "scan ms (elim off)", "win"],
+    )
+    for r in results:
+        win = r["off_ms"] / max(r["on_ms"], 1e-9)
+        report.add_row(
+            r["label"],
+            r["rows"],
+            f"{r['eliminated']}/{r['total_units']}",
+            round(r["on_ms"], 2),
+            round(r["off_ms"], 2),
+            f"{win:.1f}x",
+        )
+    report.add_note("metadata-only skipping; identical results verified per point")
+    save_report(report_dir, "e5_segment_elimination.txt", report.render())
+
+    narrow, wide = results[0], results[-1]
+    assert narrow["eliminated"] > 0, "narrow ranges must skip row groups"
+    assert wide["eliminated"] == 0, "the full range cannot skip anything"
+    assert narrow["on_ms"] < narrow["off_ms"] / 2, "elimination must pay off when narrow"
+    # Monotone-ish: wider ranges touch at least as many groups.
+    touched = [r["total_units"] - r["eliminated"] for r in results]
+    assert touched == sorted(touched)

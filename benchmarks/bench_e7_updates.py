@@ -1,0 +1,118 @@
+"""E7 — Updatable columnstore: delta-store overhead and the tuple mover.
+
+The 2014 enhancement makes column stores updatable via delta stores. Two
+costs follow: trickle inserts are slower than bulk loads (they pay B-tree
+maintenance), and queries slow down as more data sits uncompressed in
+delta stores — until the tuple mover compresses it.
+
+Expected shape: query time grows with the fraction of rows in delta
+stores; running the tuple mover restores compressed-scan speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_report, scaled
+from repro.bench.harness import ReportTable, time_call
+from repro.bench.star_schema import STORE_SALES_SCHEMA, build_star_schema, generate_star_data
+from repro.storage.config import StoreConfig
+
+BASE_ROWS = scaled(60_000)
+QUERY = (
+    "SELECT ss_store_id, COUNT(*) AS n, SUM(ss_net_paid) AS revenue "
+    "FROM store_sales GROUP BY ss_store_id"
+)
+DELTA_FRACTIONS = [0.0, 0.05, 0.1, 0.25, 0.5]
+
+
+def build_with_delta_fraction(fraction: float):
+    """A fact table with the given fraction of rows in delta stores."""
+    config = StoreConfig(rowgroup_size=16_384, bulk_load_threshold=1000)
+    star = build_star_schema(BASE_ROWS, storage="columnstore", seed=4, config=config)
+    if fraction > 0:
+        extra = int(BASE_ROWS * fraction / (1 - fraction))
+        data = generate_star_data(extra, seed=99)["store_sales"]
+        presented = [
+            tuple(
+                col.dtype.present(v)
+                for col, v in zip(STORE_SALES_SCHEMA.columns, row)
+            )
+            for row in data
+        ]
+        star.db.insert("store_sales", presented)  # trickle path
+    return star
+
+
+def run_delta_sweep() -> list[dict]:
+    results = []
+    for fraction in DELTA_FRACTIONS:
+        star = build_with_delta_fraction(fraction)
+        index = star.db.table("store_sales").columnstore
+        actual = index.fraction_in_delta
+        timing = time_call(lambda: star.db.sql(QUERY), repeat=3)
+        results.append(
+            {
+                "fraction": actual,
+                "delta_rows": index.delta_rows,
+                "query_ms": timing.seconds * 1000,
+                "star": star,
+            }
+        )
+    # Tuple mover on the worst case.
+    worst = results[-1]["star"]
+    worst.db.run_tuple_mover("store_sales", include_open=True)
+    index = worst.db.table("store_sales").columnstore
+    timing = time_call(lambda: worst.db.sql(QUERY), repeat=3)
+    results.append(
+        {
+            "fraction": index.fraction_in_delta,
+            "delta_rows": index.delta_rows,
+            "query_ms": timing.seconds * 1000,
+            "star": worst,
+            "after_mover": True,
+        }
+    )
+    return results
+
+
+def test_e7_delta_store_overhead(benchmark, report_dir):
+    results = benchmark.pedantic(run_delta_sweep, rounds=1, iterations=1)
+    report = ReportTable(
+        f"E7: query cost vs fraction of rows in delta stores "
+        f"({BASE_ROWS:,}+ fact rows)",
+        ["config", "% in delta", "delta rows", "group-by query ms"],
+    )
+    for r in results:
+        label = "after tuple mover" if r.get("after_mover") else "trickle-loaded"
+        report.add_row(
+            label,
+            f"{r['fraction'] * 100:.1f}%",
+            r["delta_rows"],
+            round(r["query_ms"], 1),
+        )
+    report.add_note("delta stores are scanned row-wise; compressed groups vectorized")
+    save_report(report_dir, "e7_delta_overhead.txt", report.render())
+
+    no_delta = results[0]["query_ms"]
+    half_delta = results[len(DELTA_FRACTIONS) - 1]["query_ms"]
+    after_mover = results[-1]["query_ms"]
+    assert half_delta > no_delta * 1.5, "delta-heavy scans must be slower"
+    assert results[-1]["delta_rows"] == 0
+    assert after_mover < half_delta / 1.5, "tuple mover must restore speed"
+
+
+def test_e7_trickle_insert_throughput(benchmark):
+    """Micro: trickle-insert rate into the open delta store."""
+    star = build_with_delta_fraction(0.0)
+    rows = generate_star_data(2000, seed=7)["store_sales"]
+    presented = [
+        tuple(col.dtype.present(v) for col, v in zip(STORE_SALES_SCHEMA.columns, row))
+        for row in rows
+    ]
+
+    def trickle():
+        star.db.insert("store_sales", presented)
+        return len(presented)
+
+    assert benchmark.pedantic(trickle, rounds=3, iterations=1) == 2000

@@ -1,0 +1,67 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every ``bench_eN_*.py`` regenerates one table/figure of the paper's
+evaluation (see DESIGN.md's experiment index). Reports are written to
+``benchmarks/reports/`` and printed, so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the paper-style tables
+on disk for EXPERIMENTS.md.
+
+Scales are chosen so the whole suite runs in a few minutes on a laptop;
+set ``REPRO_BENCH_SCALE`` (a float multiplier) to grow or shrink them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Apply the global scale multiplier to a row count."""
+    return max(1000, int(n * SCALE))
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    path = Path(__file__).parent / "reports"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def star_columnstore():
+    """Star schema on clustered columnstore (the paper's configuration).
+
+    8k-row groups give the 50k-row fact table several row groups, so
+    segment elimination has something to skip (real tables have thousands
+    of 2^20-row groups).
+    """
+    from repro.bench.star_schema import build_star_schema
+    from repro.storage.config import StoreConfig
+
+    return build_star_schema(
+        scaled(50_000),
+        storage="columnstore",
+        seed=1,
+        # Low bulk threshold so bench-scale loads take the direct-compress
+        # path (the paper's bulk path) rather than landing in delta stores.
+        config=StoreConfig(rowgroup_size=8192, bulk_load_threshold=1000),
+    )
+
+
+@pytest.fixture(scope="session")
+def star_rowstore():
+    """The same data on a row-store heap (the baseline configuration)."""
+    from repro.bench.star_schema import build_star_schema
+
+    return build_star_schema(scaled(50_000), storage="rowstore", seed=1)
+
+
+def save_report(report_dir: Path, name: str, text: str) -> None:
+    (report_dir / name).write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without
+the `wheel` package (the PEP-517 editable path requires it)."""
+
+from setuptools import setup
+
+setup()

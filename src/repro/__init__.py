@@ -1,0 +1,44 @@
+"""repro — columnstore indexes and batch-mode query processing.
+
+A from-scratch Python reproduction of *"Enhancements to SQL Server Column
+Stores"* (Larson et al., SIGMOD 2013): updatable columnstore indexes
+(row groups, column segments, dictionary/value/RLE/bit-pack encodings,
+delta stores, delete bitmaps, the tuple mover, archival compression) and a
+batch-mode vectorized execution engine (columnstore scans with segment
+elimination and bitmap pushdown, hash joins and aggregations with
+spilling) next to a classic row-store + row-mode baseline.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.sql("CREATE TABLE sales (id INT NOT NULL, region VARCHAR, amount FLOAT)")
+    db.sql("INSERT INTO sales VALUES (1, 'east', 10.5), (2, 'west', 20.0)")
+    result = db.sql("SELECT region, SUM(amount) AS total FROM sales GROUP BY region")
+    print(result.rows)
+"""
+
+from . import types
+from .db.catalog import StorageKind, Table
+from .db.database import Database, Result
+from .errors import ReproError
+from .schema import ColumnDef, TableSchema, schema
+from .storage.columnstore import ColumnStoreIndex
+from .storage.config import StoreConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ColumnDef",
+    "ColumnStoreIndex",
+    "Database",
+    "ReproError",
+    "Result",
+    "StorageKind",
+    "StoreConfig",
+    "Table",
+    "TableSchema",
+    "schema",
+    "types",
+]

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro [database-dir]`` starts the SQL shell."""
+
+from .cli import main
+
+raise SystemExit(main())

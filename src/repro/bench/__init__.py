@@ -1,0 +1,19 @@
+"""Benchmark workloads: synthetic data, a star schema and a query suite.
+
+These modules generate the datasets and queries the benchmark harness
+(`benchmarks/`) uses to reproduce the paper's evaluation: compression
+ratio studies over controlled data distributions, and the star-join
+analytic workload behind the 10x-100x batch-mode speedups.
+"""
+
+from .datagen import DatasetSpec, make_dataset
+from .star_schema import StarSchema, build_star_schema
+from .queries import QUERY_SUITE
+
+__all__ = [
+    "DatasetSpec",
+    "QUERY_SUITE",
+    "StarSchema",
+    "build_star_schema",
+    "make_dataset",
+]

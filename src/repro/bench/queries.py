@@ -1,0 +1,195 @@
+"""The 22-query analytic suite over the star schema.
+
+Query shapes mirror the workload classes the paper reports speedups for:
+selective fact scans (segment elimination), star joins with selective
+dimension predicates (bitmap pushdown), multi-dimension joins with
+grouped aggregation, string predicates, TOP-N and CASE buckets. Every
+query runs unchanged on both engines (``mode="batch"`` / ``mode="row"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchQuery:
+    qid: str
+    description: str
+    sql: str
+
+
+QUERY_SUITE: list[BenchQuery] = [
+    # --- fact-only scans and aggregations ------------------------------ #
+    BenchQuery(
+        "Q01",
+        "full-table aggregate",
+        "SELECT COUNT(*) AS n, SUM(ss_net_paid) AS revenue FROM store_sales",
+    ),
+    BenchQuery(
+        "Q02",
+        "narrow date range (segment elimination)",
+        "SELECT COUNT(*) AS n, SUM(ss_net_paid) AS revenue FROM store_sales "
+        "WHERE ss_date_id BETWEEN 100 AND 130",
+    ),
+    BenchQuery(
+        "Q03",
+        "selective numeric filter",
+        "SELECT COUNT(*) AS n FROM store_sales "
+        "WHERE ss_sales_price > 290 AND ss_quantity >= 15",
+    ),
+    BenchQuery(
+        "Q04",
+        "group by low-cardinality key",
+        "SELECT ss_store_id, COUNT(*) AS n, SUM(ss_net_paid) AS revenue "
+        "FROM store_sales GROUP BY ss_store_id",
+    ),
+    BenchQuery(
+        "Q05",
+        "group by date over a quarter",
+        "SELECT ss_date_id, SUM(ss_quantity) AS units FROM store_sales "
+        "WHERE ss_date_id BETWEEN 180 AND 270 GROUP BY ss_date_id",
+    ),
+    # --- single-dimension star joins ----------------------------------- #
+    BenchQuery(
+        "Q06",
+        "join selective dimension (bitmap pushdown)",
+        "SELECT COUNT(*) AS n FROM store_sales s "
+        "JOIN customer c ON s.ss_customer_id = c.c_id "
+        "WHERE c.c_region = 'east' AND c.c_segment = 'corporate'",
+    ),
+    BenchQuery(
+        "Q07",
+        "revenue by region",
+        "SELECT c.c_region, SUM(s.ss_net_paid) AS revenue FROM store_sales s "
+        "JOIN customer c ON s.ss_customer_id = c.c_id "
+        "GROUP BY c.c_region ORDER BY revenue DESC",
+    ),
+    BenchQuery(
+        "Q08",
+        "units by category",
+        "SELECT i.i_category, SUM(s.ss_quantity) AS units FROM store_sales s "
+        "JOIN item i ON s.ss_item_id = i.i_id "
+        "GROUP BY i.i_category ORDER BY units DESC",
+    ),
+    BenchQuery(
+        "Q09",
+        "selective item predicate",
+        "SELECT COUNT(*) AS n, AVG(s.ss_sales_price) AS avg_price "
+        "FROM store_sales s JOIN item i ON s.ss_item_id = i.i_id "
+        "WHERE i.i_category = 'electronics' AND i.i_list_price > 250",
+    ),
+    BenchQuery(
+        "Q10",
+        "store-state rollup",
+        "SELECT st.s_state, COUNT(*) AS n FROM store_sales s "
+        "JOIN store st ON s.ss_store_id = st.s_id "
+        "GROUP BY st.s_state ORDER BY n DESC",
+    ),
+    BenchQuery(
+        "Q11",
+        "date-dimension join with year filter",
+        "SELECT d.d_month, SUM(s.ss_net_paid) AS revenue FROM store_sales s "
+        "JOIN date_dim d ON s.ss_date_id = d.d_id "
+        "WHERE d.d_year = 2022 GROUP BY d.d_month ORDER BY d.d_month",
+    ),
+    # --- multi-dimension star joins ------------------------------------ #
+    BenchQuery(
+        "Q12",
+        "two-dimension star join",
+        "SELECT c.c_region, i.i_category, SUM(s.ss_net_paid) AS revenue "
+        "FROM store_sales s "
+        "JOIN customer c ON s.ss_customer_id = c.c_id "
+        "JOIN item i ON s.ss_item_id = i.i_id "
+        "GROUP BY c.c_region, i.i_category",
+    ),
+    BenchQuery(
+        "Q13",
+        "three-dimension star join, selective",
+        "SELECT d.d_quarter, SUM(s.ss_net_paid) AS revenue FROM store_sales s "
+        "JOIN date_dim d ON s.ss_date_id = d.d_id "
+        "JOIN customer c ON s.ss_customer_id = c.c_id "
+        "JOIN store st ON s.ss_store_id = st.s_id "
+        "WHERE c.c_region = 'west' AND st.s_state = 'WA' AND d.d_year = 2022 "
+        "GROUP BY d.d_quarter ORDER BY d.d_quarter",
+    ),
+    BenchQuery(
+        "Q14",
+        "quarterly revenue by segment",
+        "SELECT d.d_quarter, c.c_segment, SUM(s.ss_net_paid) AS revenue "
+        "FROM store_sales s "
+        "JOIN date_dim d ON s.ss_date_id = d.d_id "
+        "JOIN customer c ON s.ss_customer_id = c.c_id "
+        "GROUP BY d.d_quarter, c.c_segment",
+    ),
+    BenchQuery(
+        "Q15",
+        "brand drill-down within a date window",
+        "SELECT i.i_brand, SUM(s.ss_quantity) AS units FROM store_sales s "
+        "JOIN item i ON s.ss_item_id = i.i_id "
+        "WHERE s.ss_date_id BETWEEN 300 AND 400 AND i.i_category = 'grocery' "
+        "GROUP BY i.i_brand ORDER BY units DESC LIMIT 10",
+    ),
+    BenchQuery(
+        "Q16",
+        "weekday shopping pattern",
+        "SELECT d.d_weekday, AVG(s.ss_net_paid) AS avg_basket FROM store_sales s "
+        "JOIN date_dim d ON s.ss_date_id = d.d_id "
+        "GROUP BY d.d_weekday ORDER BY avg_basket DESC",
+    ),
+    # --- string predicates ---------------------------------------------- #
+    BenchQuery(
+        "Q17",
+        "LIKE on dictionary-encoded dimension strings",
+        "SELECT COUNT(*) AS n FROM store_sales s "
+        "JOIN customer c ON s.ss_customer_id = c.c_id "
+        "WHERE c.c_name LIKE 'customer#00000%'",
+    ),
+    BenchQuery(
+        "Q18",
+        "IN-list over categories",
+        "SELECT i.i_category, COUNT(*) AS n FROM store_sales s "
+        "JOIN item i ON s.ss_item_id = i.i_id "
+        "WHERE i.i_category IN ('books', 'toys', 'sports') "
+        "GROUP BY i.i_category ORDER BY n DESC",
+    ),
+    BenchQuery(
+        "Q19",
+        "region IN-list with date range",
+        "SELECT c.c_region, SUM(s.ss_net_paid) AS revenue FROM store_sales s "
+        "JOIN customer c ON s.ss_customer_id = c.c_id "
+        "WHERE c.c_region IN ('east', 'south') "
+        "AND s.ss_date_id BETWEEN 0 AND 180 "
+        "GROUP BY c.c_region",
+    ),
+    # --- top-n / case / having ------------------------------------------ #
+    BenchQuery(
+        "Q20",
+        "top customers by revenue",
+        "SELECT s.ss_customer_id, SUM(s.ss_net_paid) AS revenue "
+        "FROM store_sales s GROUP BY s.ss_customer_id "
+        "ORDER BY revenue DESC LIMIT 25",
+    ),
+    BenchQuery(
+        "Q21",
+        "CASE bucket aggregation",
+        "SELECT CASE WHEN ss_sales_price < 50 THEN 'budget' "
+        "WHEN ss_sales_price < 150 THEN 'mid' ELSE 'premium' END AS tier, "
+        "COUNT(*) AS n, SUM(ss_net_paid) AS revenue "
+        "FROM store_sales GROUP BY tier ORDER BY tier",
+    ),
+    BenchQuery(
+        "Q22",
+        "HAVING over store revenue",
+        "SELECT ss_store_id, SUM(ss_net_paid) AS revenue FROM store_sales "
+        "GROUP BY ss_store_id HAVING SUM(ss_net_paid) > 0 "
+        "ORDER BY revenue DESC LIMIT 5",
+    ),
+]
+
+
+def query_by_id(qid: str) -> BenchQuery:
+    for query in QUERY_SUITE:
+        if query.qid == qid:
+            return query
+    raise KeyError(f"unknown query {qid!r}")

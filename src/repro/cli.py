@@ -1,0 +1,270 @@
+"""Interactive SQL shell: ``python -m repro [database-dir]``.
+
+A small REPL over :class:`repro.Database` with psql-style meta-commands:
+
+    \\tables              list tables
+    \\schema <table>      show a table's columns and storage
+    \\sizes <table>       storage accounting (compression ratios)
+    \\mode batch|row|auto force an execution mode
+    \\explain <query>     show the optimized plan
+    \\analyze <query>     execute and show per-operator runtime stats
+    \\timing on|off       print per-statement wall-clock time
+    \\save <dir>          persist the database
+    \\open <dir>          load a saved database
+    \\mover <table>       run the tuple mover
+    \\rebuild <table>     rebuild the columnstore
+    \\q                   quit
+
+Statements end with ``;`` and may span lines.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any
+
+from .db.database import Database, Result
+from .errors import ReproError
+
+_MAX_ROWS_SHOWN = 40
+
+
+def format_result(result: Result, max_rows: int = _MAX_ROWS_SHOWN) -> str:
+    """Render a query result as an aligned text table."""
+    headers = result.columns
+    shown = result.rows[:max_rows]
+    cells = [[_format_value(v) for v in row] for row in shown]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if len(result.rows) > max_rows:
+        lines.append(f"... ({len(result.rows)} rows total, first {max_rows} shown)")
+    else:
+        lines.append(f"({len(result.rows)} row{'s' if len(result.rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+class Shell:
+    """The REPL state machine (I/O-free core, testable directly)."""
+
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db or Database()
+        self.mode = "auto"
+        self.timing = False
+        self.running = True
+        self._buffer: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Line handling
+    # ------------------------------------------------------------------ #
+    def feed_line(self, line: str) -> list[str]:
+        """Process one input line; returns output lines to print."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("\\"):
+            return self.run_meta(stripped)
+        if not stripped and not self._buffer:
+            return []
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer)
+            self._buffer = []
+            return self.run_sql(statement)
+        return []
+
+    @property
+    def prompt(self) -> str:
+        return "   ...> " if self._buffer else "repro=> "
+
+    # ------------------------------------------------------------------ #
+    # SQL statements
+    # ------------------------------------------------------------------ #
+    def run_sql(self, statement: str) -> list[str]:
+        start = time.perf_counter()
+        try:
+            result = self.db.sql(statement, mode=self.mode)
+        except ReproError as exc:
+            return [f"error: {exc}"]
+        elapsed = (time.perf_counter() - start) * 1000
+        out: list[str] = []
+        if result is None:
+            out.append("ok")
+        else:
+            out.append(format_result(result))
+        if self.timing:
+            out.append(f"time: {elapsed:.1f} ms ({self.mode} mode)")
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Meta commands
+    # ------------------------------------------------------------------ #
+    def run_meta(self, command: str) -> list[str]:
+        parts = command.split(None, 1)
+        name = parts[0]
+        arg = parts[1].strip() if len(parts) > 1 else ""
+        handler = {
+            "\\q": self._meta_quit,
+            "\\quit": self._meta_quit,
+            "\\tables": self._meta_tables,
+            "\\schema": self._meta_schema,
+            "\\sizes": self._meta_sizes,
+            "\\mode": self._meta_mode,
+            "\\timing": self._meta_timing,
+            "\\explain": self._meta_explain,
+            "\\analyze": self._meta_analyze,
+            "\\save": self._meta_save,
+            "\\open": self._meta_open,
+            "\\mover": self._meta_mover,
+            "\\rebuild": self._meta_rebuild,
+            "\\help": self._meta_help,
+        }.get(name)
+        if handler is None:
+            return [f"unknown command {name} (try \\help)"]
+        try:
+            return handler(arg)
+        except ReproError as exc:
+            return [f"error: {exc}"]
+
+    def _meta_quit(self, arg: str) -> list[str]:
+        self.running = False
+        return ["bye"]
+
+    def _meta_tables(self, arg: str) -> list[str]:
+        names = self.db.catalog.table_names()
+        if not names:
+            return ["(no tables)"]
+        out = []
+        for name in names:
+            table = self.db.table(name)
+            out.append(
+                f"{name}  [{table.storage_kind.value}]  {table.row_count:,} rows"
+            )
+        return out
+
+    def _meta_schema(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\schema <table>"]
+        table = self.db.table(arg)
+        out = [f"{table.name} ({table.storage_kind.value}):"]
+        for col in table.schema:
+            out.append(f"  {col}")
+        for index_name, index in table.indexes.items():
+            out.append(f"  index {index_name} on ({', '.join(index.columns)})")
+        return out
+
+    def _meta_sizes(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\sizes <table>"]
+        table = self.db.table(arg)
+        report = table.size_report()
+        out = [f"{table.name}: {table.row_count:,} live rows"]
+        if "columnstore_bytes" in report:
+            ratio = report["columnstore_raw_bytes"] / max(1, report["columnstore_bytes"])
+            out.append(
+                f"  columnstore: {report['columnstore_bytes']:,} bytes "
+                f"(raw {report['columnstore_raw_bytes']:,}, {ratio:.1f}x)"
+            )
+            index = table.columnstore
+            out.append(
+                f"  row groups: {len(index.directory)}, delta rows: "
+                f"{index.delta_rows:,}, deleted marks: "
+                f"{index.delete_bitmap.total_deleted:,}"
+            )
+        if "rowstore_used_bytes" in report:
+            out.append(
+                f"  rowstore: {report['rowstore_used_bytes']:,} bytes used "
+                f"(PAGE-compressed est. {report['rowstore_page_compressed_bytes']:,})"
+            )
+        return out
+
+    def _meta_mode(self, arg: str) -> list[str]:
+        if arg not in ("batch", "row", "auto"):
+            return [f"current mode: {self.mode} (usage: \\mode batch|row|auto)"]
+        self.mode = arg
+        return [f"execution mode set to {arg}"]
+
+    def _meta_timing(self, arg: str) -> list[str]:
+        if arg == "on":
+            self.timing = True
+        elif arg == "off":
+            self.timing = False
+        else:
+            return [f"timing is {'on' if self.timing else 'off'}"]
+        return [f"timing {'on' if self.timing else 'off'}"]
+
+    def _meta_explain(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\explain <select statement>"]
+        return self.db.explain(arg.rstrip(";"), mode=self.mode).split("\n")
+
+    def _meta_analyze(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\analyze <select statement>"]
+        return self.db.explain_analyze(arg.rstrip(";"), mode=self.mode).split("\n")
+
+    def _meta_save(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\save <directory>"]
+        self.db.save(arg)
+        return [f"saved to {arg}"]
+
+    def _meta_open(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\open <directory>"]
+        self.db = Database.load(arg)
+        return [f"opened {arg} ({len(self.db.catalog.table_names())} tables)"]
+
+    def _meta_mover(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\mover <table>"]
+        report = self.db.run_tuple_mover(arg, include_open=True)
+        return [
+            f"moved {report.rows_moved:,} rows from "
+            f"{report.delta_stores_compressed} delta stores into "
+            f"{report.row_groups_created} row groups"
+        ]
+
+    def _meta_rebuild(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\rebuild <table>"]
+        self.db.rebuild(arg)
+        return [f"rebuilt {arg}"]
+
+    def _meta_help(self, arg: str) -> list[str]:
+        return [line.strip() for line in (__doc__ or "").split("\n") if "\\" in line]
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    shell = Shell()
+    if args:
+        print("\n".join(shell.run_meta(f"\\open {args[0]}")))
+    print("repro SQL shell — \\help for commands, \\q to quit")
+    while shell.running:
+        try:
+            line = input(shell.prompt)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        for out in shell.feed_line(line):
+            print(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - interactive entry
+    raise SystemExit(main())

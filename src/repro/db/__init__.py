@@ -1,0 +1,6 @@
+"""The database facade: catalog, tables, SQL entry point."""
+
+from .catalog import Catalog, StorageKind, Table
+from .database import Database, Result
+
+__all__ = ["Catalog", "Database", "Result", "StorageKind", "Table"]

@@ -1,0 +1,337 @@
+"""The public database facade.
+
+:class:`Database` ties everything together: DDL, DML (trickle and bulk),
+querying via SQL or via logical plans, EXPLAIN, and the maintenance
+operations the paper describes (tuple mover, REBUILD, archival toggles).
+
+>>> from repro import Database, types
+>>> db = Database()
+>>> db.sql("CREATE TABLE t (a INT, b VARCHAR)")
+>>> db.sql("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+>>> db.sql("SELECT a FROM t WHERE b = 'x'").rows
+[(1,)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from ..errors import CatalogError, PlanningError
+from ..exec.expressions import Column, Expr
+from ..exec.operators.scan import ColumnStoreScan
+from ..exec.row_engine import RID_COLUMN, RowTableScan
+from ..planner.logical import LogicalNode, LogicalScan
+from ..planner.optimizer import Optimizer, PhysicalPlan
+from ..planner.schema_infer import infer_output_dtypes
+from ..schema import TableSchema
+from ..storage.config import StoreConfig
+from ..types import DataType
+from .catalog import Catalog, StorageKind, Table
+
+
+@dataclass
+class Result:
+    """A query result: column names, types and presented Python rows."""
+
+    columns: list[str]
+    dtypes: list[DataType]
+    rows: list[tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def to_pydict(self) -> dict[str, list[Any]]:
+        return {
+            name: [row[i] for row in self.rows] for i, name in enumerate(self.columns)
+        }
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise PlanningError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Result(columns={self.columns}, rows={len(self.rows)})"
+
+
+class Database:
+    """An in-process analytic database with columnstore + batch mode."""
+
+    def __init__(self, default_config: StoreConfig | None = None) -> None:
+        self.catalog = Catalog()
+        self.optimizer = Optimizer(self.catalog)
+        self.default_config = default_config or StoreConfig()
+
+    # ------------------------------------------------------------------ #
+    # DDL
+    # ------------------------------------------------------------------ #
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        storage: StorageKind | str = StorageKind.COLUMNSTORE,
+        config: StoreConfig | None = None,
+    ) -> Table:
+        if isinstance(storage, str):
+            storage = StorageKind(storage)
+        return self.catalog.create_table(
+            name, schema, storage, config or self.default_config
+        )
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # ------------------------------------------------------------------ #
+    # DML
+    # ------------------------------------------------------------------ #
+    def insert(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Trickle-insert rows (columnstores route through delta stores)."""
+        return self.catalog.table(table).insert_rows(rows)
+
+    def bulk_load(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
+        """Bulk-load rows (large loads compress directly into row groups)."""
+        return self.catalog.table(table).bulk_load(rows)
+
+    def delete_where(self, table: str, predicate: Expr | None) -> int:
+        """DELETE ... WHERE: runs the predicate against every storage."""
+        target = self.catalog.table(table)
+        deleted = 0
+        if target.rowstore is not None:
+            rids = self._matching_rids(target, predicate)
+            deleted = target.delete_by_locators(rids)
+        if target.columnstore is not None:
+            locators = self._matching_locators(target, predicate)
+            cs_deleted = target.delete_by_locators(locators)
+            if target.rowstore is None:
+                deleted = cs_deleted
+        return deleted
+
+    def update_where(
+        self,
+        table: str,
+        assignments: dict[str, Expr],
+        predicate: Expr | None,
+    ) -> int:
+        """UPDATE ... SET ... WHERE, executed as delete + insert."""
+        target = self.catalog.table(table)
+        names = target.schema.names
+        unknown = set(assignments) - set(names)
+        if unknown:
+            raise CatalogError(f"unknown columns in SET: {sorted(unknown)}")
+        matched = self._matching_rows(target, predicate)
+        if not matched:
+            return 0
+
+        def resolver(column: str):
+            return target.schema.dtype(column)
+
+        # Each assignment expression presents through ITS inferred type:
+        # e.g. `amount * 2` was descaled by the binder and is already a
+        # user-space float, while a bare column reference is physical.
+        expr_dtypes: dict[str, DataType] = {}
+        for name, expr in assignments.items():
+            try:
+                expr_dtypes[name] = expr.infer_dtype(resolver)
+            except Exception:
+                expr_dtypes[name] = target.schema.dtype(name)
+        new_rows = []
+        for row in matched:
+            row_map = dict(zip(names, row))
+            new_row = []
+            for name in names:
+                if name in assignments:
+                    physical = assignments[name].eval_row(row_map)
+                    new_row.append(expr_dtypes[name].present(physical))
+                else:
+                    new_row.append(target.schema.dtype(name).present(row_map[name]))
+            new_rows.append(tuple(new_row))
+        self.delete_where(table, predicate)
+        target.insert_rows(new_rows)
+        return len(new_rows)
+
+    def _matching_rids(self, target: Table, predicate: Expr | None) -> list[Any]:
+        assert target.rowstore is not None
+        scan = RowTableScan(
+            target.rowstore,
+            target.schema.names,
+            predicate=predicate,
+            include_rids=True,
+        )
+        return [row[RID_COLUMN] for row in scan.rows()]
+
+    def _matching_locators(self, target: Table, predicate: Expr | None) -> list[Any]:
+        assert target.columnstore is not None
+        scan = ColumnStoreScan(
+            target.columnstore,
+            target.schema.names,
+            predicate=predicate,
+            include_locators=True,
+        )
+        locators: list[Any] = []
+        for batch in scan.batches():
+            dense = batch.compact()
+            if dense.locators is not None:
+                locators.extend(dense.locators.tolist())
+        return locators
+
+    def _matching_rows(self, target: Table, predicate: Expr | None) -> list[tuple]:
+        if target.rowstore is not None:
+            scan = RowTableScan(target.rowstore, target.schema.names, predicate=predicate)
+            names = target.schema.names
+            return [tuple(row[n] for n in names) for row in scan.rows()]
+        assert target.columnstore is not None
+        scan = ColumnStoreScan(
+            target.columnstore, target.schema.names, predicate=predicate
+        )
+        rows: list[tuple] = []
+        for batch in scan.batches():
+            rows.extend(batch.to_rows())
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def scan_plan(self, table: str, columns: list[str] | None = None) -> LogicalScan:
+        """A logical scan of a table (start of a hand-built plan)."""
+        target = self.catalog.table(table)
+        names = columns if columns is not None else target.schema.names
+        return LogicalScan(
+            table=target.name,
+            projections={name: target.schema.column(name).name for name in names},
+        )
+
+    def compile(self, plan: LogicalNode, **options: Any) -> PhysicalPlan:
+        """Optimize + build a physical plan (see Optimizer.compile)."""
+        return self.optimizer.compile(plan, **options)
+
+    def execute(self, plan: LogicalNode, **options: Any) -> Result:
+        """Run a logical plan and present results as Python values."""
+        dtypes_by_name = infer_output_dtypes(plan, self.catalog)
+        physical = self.optimizer.compile(plan, **options)
+        dtypes = [dtypes_by_name[name] for name in physical.columns]
+        rows = [
+            tuple(dtype.present(value) for dtype, value in zip(dtypes, row))
+            for row in physical.rows()
+        ]
+        return Result(columns=physical.columns, dtypes=dtypes, rows=rows)
+
+    def sql(self, text: str, **options: Any) -> Result | None:
+        """Execute a SQL statement; queries return a :class:`Result`."""
+        from ..sql.runner import run_statement
+
+        return run_statement(self, text, **options)
+
+    def explain(self, text_or_plan: str | LogicalNode, **options: Any) -> str:
+        """The optimized logical + physical plan as text."""
+        if isinstance(text_or_plan, str):
+            from ..sql.runner import plan_query
+
+            plan = plan_query(self, text_or_plan)
+        else:
+            plan = text_or_plan
+        return self.optimizer.compile(plan, **options).explain()
+
+    def explain_analyze(self, text_or_plan: str | LogicalNode, **options: Any) -> str:
+        """Execute a query and render the plan with runtime operator stats."""
+        if isinstance(text_or_plan, str):
+            from ..sql.runner import plan_query
+
+            plan = plan_query(self, text_or_plan)
+        else:
+            plan = text_or_plan
+        return self.optimizer.compile(plan, **options).explain_analyze()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str) -> None:
+        """Persist the whole database to a directory.
+
+        Compressed segments are written as immutable blobs (one file per
+        segment, the paper's LOB model); delta stores, delete bitmaps and
+        row-store heaps are serialized row-wise; the catalog is JSON.
+        """
+        import json
+        from pathlib import Path
+
+        from ..storage import persist
+
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        catalog_entries = []
+        for name in self.catalog.table_names():
+            table = self.catalog.table(name)
+            entry = {
+                "name": table.name,
+                "schema": persist.schema_to_json(table.schema),
+                "storage": table.storage_kind.value,
+                "config": persist.config_to_json(table.config),
+                "indexes": {
+                    index_name: index.columns
+                    for index_name, index in table.indexes.items()
+                },
+            }
+            catalog_entries.append(entry)
+            table_dir = root / table.name
+            table_dir.mkdir(exist_ok=True)
+            if table.columnstore is not None:
+                persist.save_columnstore(table.columnstore, table_dir)
+            if table.rowstore is not None:
+                rows = [row for _, row in table.rowstore.scan()]
+                (table_dir / "rowstore.rows").write_bytes(
+                    persist.serialize_rows(table.schema, rows)
+                )
+        (root / "catalog.json").write_text(json.dumps(catalog_entries, indent=1))
+
+    @classmethod
+    def load(cls, path: str) -> "Database":
+        """Reopen a database saved with :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        from ..storage import persist
+
+        root = Path(path)
+        catalog_entries = json.loads((root / "catalog.json").read_text())
+        db = cls()
+        for entry in catalog_entries:
+            table_schema = persist.schema_from_json(entry["schema"])
+            config = persist.config_from_json(entry["config"])
+            table = db.create_table(
+                entry["name"], table_schema, storage=entry["storage"], config=config
+            )
+            table_dir = root / entry["name"]
+            if table.columnstore is not None:
+                table.columnstore = persist.load_columnstore(
+                    table_schema, config, table_dir
+                )
+            if table.rowstore is not None:
+                rows = persist.deserialize_rows(
+                    table_schema, (table_dir / "rowstore.rows").read_bytes()
+                )
+                table.rowstore.insert_many(rows)
+            for index_name, columns in entry["indexes"].items():
+                table.create_index(index_name, columns)
+        return db
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def run_tuple_mover(self, table: str, include_open: bool = False):
+        return self.catalog.table(table).run_tuple_mover(include_open)
+
+    def rebuild(self, table: str) -> None:
+        self.catalog.table(table).rebuild_columnstore()
+
+    def set_archival(self, table: str, enabled: bool) -> None:
+        self.catalog.table(table).set_archival(enabled)

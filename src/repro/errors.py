@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch a single base class. Subsystems raise the most specific
+subclass that applies; messages always name the offending object (column,
+table, token, ...) because these errors surface directly to users.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition: duplicate columns, bad types, arity mismatch."""
+
+
+class TypeMismatchError(ReproError):
+    """A value or expression does not match the expected column/operand type."""
+
+
+class StorageError(ReproError):
+    """Corruption or misuse detected inside the storage layer."""
+
+
+class EncodingError(StorageError):
+    """A column segment could not be encoded or decoded."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate table / column / index name."""
+
+
+class PlanningError(ReproError):
+    """The planner could not produce a physical plan for a logical query."""
+
+
+class BindingError(PlanningError):
+    """Name resolution or type checking of a query failed."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""
+
+
+class SpillBudgetError(ExecutionError):
+    """An operator exceeded its memory grant and spilling was disabled."""
+
+
+class ConstraintError(ReproError):
+    """A DML statement violated a declared constraint (e.g. NOT NULL)."""

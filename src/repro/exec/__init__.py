@@ -1,0 +1,13 @@
+"""Execution engines: batch (vectorized) mode and row mode.
+
+Batch mode is the paper's core query-processing contribution: operators
+exchange :class:`~repro.exec.batch.Batch` objects (column vectors plus a
+qualifying-rows vector) instead of single rows, amortizing interpretation
+overhead across ~1k rows. The row-mode engine
+(:mod:`repro.exec.row_engine`) is the tuple-at-a-time baseline the paper
+compares against.
+"""
+
+from .batch import Batch
+
+__all__ = ["Batch"]

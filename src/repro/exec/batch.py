@@ -1,0 +1,241 @@
+"""The batch: unit of data flow in batch-mode execution.
+
+Mirrors the paper's batch layout: a set of column vectors plus a
+*qualifying rows* vector. Filters shrink the qualifying vector without
+copying column data; operators that materialize output (joins, aggregates)
+compact first. The default batch size follows the paper's ~1k rows
+(they use ~900; we use 1024).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+DEFAULT_BATCH_SIZE = 1024
+
+
+@dataclass
+class Batch:
+    """Column vectors + null masks + qualifying-row selection.
+
+    ``columns`` maps column name to a full-length vector; ``null_masks``
+    maps name to a boolean mask (or ``None`` when the column has no NULLs).
+    ``selection`` holds the indices of qualifying rows in ascending order,
+    or ``None`` meaning *all rows qualify*.
+
+    ``locators`` optionally carries row addresses (for DML): a pair of
+    object arrays (kinds+container ids are folded into one object per row).
+    """
+
+    columns: dict[str, np.ndarray]
+    null_masks: dict[str, np.ndarray | None] = field(default_factory=dict)
+    selection: np.ndarray | None = None
+    locators: np.ndarray | None = None  # object array of RowLocator, optional
+
+    def __post_init__(self) -> None:
+        lengths = {arr.shape[0] for arr in self.columns.values()}
+        if len(lengths) > 1:
+            raise ExecutionError(f"batch column lengths differ: {sorted(lengths)}")
+        for name in self.columns:
+            self.null_masks.setdefault(name, None)
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+    @property
+    def row_count(self) -> int:
+        """Physical length of the column vectors."""
+        if not self.columns:
+            return 0
+        return next(iter(self.columns.values())).shape[0]
+
+    @property
+    def active_count(self) -> int:
+        """Number of qualifying rows."""
+        if self.selection is None:
+            return self.row_count
+        return int(self.selection.size)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.columns)
+
+    def active_indices(self) -> np.ndarray:
+        """Indices of qualifying rows (always materialized)."""
+        if self.selection is None:
+            return np.arange(self.row_count, dtype=np.int64)
+        return self.selection
+
+    # ------------------------------------------------------------------ #
+    # Column access
+    # ------------------------------------------------------------------ #
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(f"batch has no column {name!r}") from None
+
+    def null_mask(self, name: str) -> np.ndarray | None:
+        if name not in self.columns:
+            raise ExecutionError(f"batch has no column {name!r}")
+        return self.null_masks.get(name)
+
+    # ------------------------------------------------------------------ #
+    # Selection manipulation
+    # ------------------------------------------------------------------ #
+    def narrow(self, qualifying: np.ndarray) -> "Batch":
+        """New batch whose selection keeps only rows where ``qualifying``
+        (a full-length boolean mask) is True among currently active rows."""
+        active = self.active_indices()
+        kept = active[qualifying[active]]
+        return Batch(
+            columns=self.columns,
+            null_masks=self.null_masks,
+            selection=kept,
+            locators=self.locators,
+        )
+
+    def compact(self) -> "Batch":
+        """Materialize the selection: copy qualifying rows to dense vectors."""
+        if self.selection is None:
+            return self
+        idx = self.selection
+        columns = {name: arr[idx] for name, arr in self.columns.items()}
+        null_masks = {
+            name: (mask[idx] if mask is not None else None)
+            for name, mask in self.null_masks.items()
+        }
+        locators = self.locators[idx] if self.locators is not None else None
+        return Batch(columns=columns, null_masks=null_masks, selection=None, locators=locators)
+
+    def project(self, names: list[str]) -> "Batch":
+        """Keep only the named columns (no copying)."""
+        return Batch(
+            columns={name: self.column(name) for name in names},
+            null_masks={name: self.null_masks.get(name) for name in names},
+            selection=self.selection,
+            locators=self.locators,
+        )
+
+    def with_column(
+        self, name: str, values: np.ndarray, null_mask: np.ndarray | None = None
+    ) -> "Batch":
+        """New batch with one column added or replaced."""
+        if values.shape[0] != self.row_count:
+            raise ExecutionError(
+                f"column {name!r} has {values.shape[0]} rows, batch has {self.row_count}"
+            )
+        columns = dict(self.columns)
+        columns[name] = values
+        null_masks = dict(self.null_masks)
+        null_masks[name] = null_mask
+        return Batch(
+            columns=columns,
+            null_masks=null_masks,
+            selection=self.selection,
+            locators=self.locators,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def to_rows(self) -> list[tuple[Any, ...]]:
+        """Qualifying rows as Python tuples (None for NULLs)."""
+        dense = self.compact()
+        names = dense.names
+        n = dense.row_count
+        out: list[tuple[Any, ...]] = []
+        raw_columns = []
+        for name in names:
+            arr = dense.columns[name]
+            mask = dense.null_masks.get(name)
+            raw_columns.append((arr, mask))
+        for i in range(n):
+            row = []
+            for arr, mask in raw_columns:
+                if mask is not None and mask[i]:
+                    row.append(None)
+                else:
+                    value = arr[i]
+                    row.append(value.item() if hasattr(value, "item") else value)
+            out.append(tuple(row))
+        return out
+
+    @classmethod
+    def from_pydict(
+        cls, data: Mapping[str, list[Any]], dtypes: Mapping[str, np.dtype] | None = None
+    ) -> "Batch":
+        """Build a batch from Python lists; ``None`` entries become NULLs."""
+        columns: dict[str, np.ndarray] = {}
+        null_masks: dict[str, np.ndarray | None] = {}
+        for name, values in data.items():
+            mask = np.array([v is None for v in values], dtype=bool)
+            has_nulls = bool(mask.any())
+            dtype = (dtypes or {}).get(name)
+            if dtype is None:
+                sample = next((v for v in values if v is not None), None)
+                if sample is None:
+                    # All-NULL column with no declared type: use a numeric
+                    # vector so comparisons on (masked) filler stay total.
+                    dtype = np.dtype(np.int64)
+                elif isinstance(sample, str):
+                    dtype = np.dtype(object)
+                elif isinstance(sample, bool):
+                    dtype = np.dtype(np.bool_)
+                elif isinstance(sample, int):
+                    dtype = np.dtype(np.int64)
+                else:
+                    dtype = np.dtype(np.float64)
+            if dtype == object:
+                arr = np.empty(len(values), dtype=object)
+                arr[:] = ["" if v is None else v for v in values]
+            else:
+                fill: Any = False if dtype == np.bool_ else 0
+                arr = np.array([fill if v is None else v for v in values], dtype=dtype)
+            columns[name] = arr
+            null_masks[name] = mask if has_nulls else None
+        return cls(columns=columns, null_masks=null_masks)
+
+
+def concat_batches(batches: list[Batch]) -> Batch | None:
+    """Concatenate compacted batches (None when the list is empty)."""
+    dense = [b.compact() for b in batches if b.active_count]
+    if not dense:
+        return None
+    names = dense[0].names
+    columns: dict[str, np.ndarray] = {}
+    null_masks: dict[str, np.ndarray | None] = {}
+    for name in names:
+        columns[name] = np.concatenate([b.columns[name] for b in dense])
+        if any(b.null_masks.get(name) is not None for b in dense):
+            null_masks[name] = np.concatenate(
+                [
+                    b.null_masks[name]
+                    if b.null_masks.get(name) is not None
+                    else np.zeros(b.row_count, dtype=bool)
+                    for b in dense
+                ]
+            )
+        else:
+            null_masks[name] = None
+    return Batch(columns=columns, null_masks=null_masks)
+
+
+def slice_into_batches(batch: Batch, batch_size: int = DEFAULT_BATCH_SIZE) -> Iterator[Batch]:
+    """Split a large dense batch into engine-sized batches."""
+    dense = batch.compact()
+    total = dense.row_count
+    for start in range(0, total, batch_size):
+        end = min(start + batch_size, total)
+        columns = {name: arr[start:end] for name, arr in dense.columns.items()}
+        null_masks = {
+            name: (mask[start:end] if mask is not None else None)
+            for name, mask in dense.null_masks.items()
+        }
+        locators = dense.locators[start:end] if dense.locators is not None else None
+        yield Batch(columns=columns, null_masks=null_masks, locators=locators)

@@ -1,0 +1,59 @@
+"""Memory grants for batch operators.
+
+The paper's enhanced hash join and hash aggregate spill gracefully when
+their memory grant is exhausted instead of failing the query. We model the
+grant as byte accounting over the NumPy buffers an operator retains; when a
+reservation would exceed the grant, the operator must spill (or the grant
+raises, if spilling is disabled).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SpillBudgetError
+
+DEFAULT_GRANT_BYTES = 64 * 1024 * 1024
+
+
+def batch_bytes(columns: dict[str, np.ndarray]) -> int:
+    """Approximate retained size of a set of column vectors."""
+    total = 0
+    for arr in columns.values():
+        if arr.dtype == object:
+            total += sum(len(v) + 50 for v in arr.tolist() if isinstance(v, str))
+            total += arr.shape[0] * 8
+        else:
+            total += arr.nbytes
+    return total
+
+
+class MemoryGrant:
+    """Byte budget shared by the operators of one query."""
+
+    def __init__(self, budget_bytes: int = DEFAULT_GRANT_BYTES, allow_spill: bool = True) -> None:
+        self.budget_bytes = budget_bytes
+        self.allow_spill = allow_spill
+        self.reserved_bytes = 0
+        self.peak_bytes = 0
+
+    def try_reserve(self, n_bytes: int) -> bool:
+        """Reserve if it fits; returns False when the grant is exhausted."""
+        if self.reserved_bytes + n_bytes > self.budget_bytes:
+            if not self.allow_spill:
+                raise SpillBudgetError(
+                    f"memory grant of {self.budget_bytes} bytes exhausted "
+                    f"({self.reserved_bytes} reserved, {n_bytes} requested) "
+                    "and spilling is disabled"
+                )
+            return False
+        self.reserved_bytes += n_bytes
+        self.peak_bytes = max(self.peak_bytes, self.reserved_bytes)
+        return True
+
+    def release(self, n_bytes: int) -> None:
+        self.reserved_bytes = max(0, self.reserved_bytes - n_bytes)
+
+    @property
+    def available_bytes(self) -> int:
+        return max(0, self.budget_bytes - self.reserved_bytes)

@@ -1,0 +1,39 @@
+"""Base class for batch-mode physical operators."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from ..batch import Batch
+
+
+class BatchOperator(abc.ABC):
+    """A pull-based operator producing a stream of batches.
+
+    Subclasses implement :meth:`batches`; consumers iterate it exactly
+    once. ``output_names`` lists the columns every produced batch carries.
+    """
+
+    @property
+    @abc.abstractmethod
+    def output_names(self) -> list[str]:
+        """Names of the columns in produced batches."""
+
+    @abc.abstractmethod
+    def batches(self) -> Iterator[Batch]:
+        """Produce the operator's output, one batch at a time."""
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        """Human-readable plan rendering (one line per operator)."""
+        pad = "  " * depth
+        lines = [f"{pad}{self.describe()}"]
+        for child in self.child_operators():
+            lines.extend(child.explain_lines(depth + 1))
+        return lines
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def child_operators(self) -> list["BatchOperator"]:
+        return []

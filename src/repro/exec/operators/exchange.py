@@ -1,0 +1,92 @@
+"""Exchange: parallel batch execution.
+
+The paper's batch operators run under exchange-based parallelism: a scan
+is split across workers, each worker runs its own copy of the pipeline
+fragment, and the exchange merges their batch streams. We reproduce that
+structure with real threads — each child operator (one per worker) runs
+in its own thread, pushing batches into a bounded queue the consumer
+drains. NumPy kernels release the GIL for large arrays, so scans overlap;
+pure-Python sections serialize (documented scaling ceiling, see E13).
+
+Row order across workers is nondeterministic, as with any exchange; a
+Sort above restores determinism when the query requires it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator
+
+from ...errors import ExecutionError
+from ..batch import Batch
+from .base import BatchOperator
+
+_QUEUE_SIZE = 8
+_DONE = object()
+
+
+class BatchExchange(BatchOperator):
+    """Merges the batch streams of N children, one thread per child."""
+
+    def __init__(self, children: list[BatchOperator]) -> None:
+        if not children:
+            raise ExecutionError("exchange requires at least one child")
+        names = children[0].output_names
+        for child in children[1:]:
+            if child.output_names != names:
+                raise ExecutionError(
+                    "exchange children disagree on output columns: "
+                    f"{names} vs {child.output_names}"
+                )
+        self.children = list(children)
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.children[0].output_names
+
+    @property
+    def dop(self) -> int:
+        return len(self.children)
+
+    def describe(self) -> str:
+        return f"BatchExchange(dop={self.dop})"
+
+    def child_operators(self) -> list[BatchOperator]:
+        return list(self.children)
+
+    def batches(self) -> Iterator[Batch]:
+        if len(self.children) == 1:
+            yield from self.children[0].batches()
+            return
+        out: queue.Queue = queue.Queue(maxsize=_QUEUE_SIZE * len(self.children))
+        errors: list[BaseException] = []
+
+        def worker(child: BatchOperator) -> None:
+            try:
+                for batch in child.batches():
+                    out.put(batch)
+            except BaseException as exc:  # propagate to the consumer
+                errors.append(exc)
+            finally:
+                out.put(_DONE)
+
+        threads = [
+            threading.Thread(target=worker, args=(child,), daemon=True)
+            for child in self.children
+        ]
+        for thread in threads:
+            thread.start()
+        finished = 0
+        try:
+            while finished < len(threads):
+                item = out.get()
+                if item is _DONE:
+                    finished += 1
+                    continue
+                yield item
+        finally:
+            for thread in threads:
+                thread.join(timeout=5.0)
+        if errors:
+            raise errors[0]

@@ -1,0 +1,38 @@
+"""Batch-mode filter: narrows the qualifying-rows vector in place."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..batch import Batch
+from ..expressions import Expr, predicate_mask
+from .base import BatchOperator
+
+
+class BatchFilter(BatchOperator):
+    """Keeps rows where the predicate is TRUE (SQL three-valued logic).
+
+    Does not copy column data: it only shrinks each batch's selection
+    vector, which is the paper's in-batch qualifying-rows design.
+    """
+
+    def __init__(self, child: BatchOperator, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.child.output_names
+
+    def describe(self) -> str:
+        return f"BatchFilter({self.predicate})"
+
+    def child_operators(self) -> list[BatchOperator]:
+        return [self.child]
+
+    def batches(self) -> Iterator[Batch]:
+        for batch in self.child.batches():
+            mask = predicate_mask(self.predicate, batch)
+            narrowed = batch.narrow(mask)
+            if narrowed.active_count:
+                yield narrowed

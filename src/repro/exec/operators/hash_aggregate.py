@@ -1,0 +1,515 @@
+"""Batch-mode hash aggregation with spilling.
+
+Group keys are factorized to dense group ids per batch (vectorized for the
+single integer-key case), and aggregate accumulators are updated with
+``np.bincount`` / ``np.minimum.at`` style scatter operations.
+
+When the accumulated state exceeds the memory grant, the operator degrades
+to the paper's local/global pattern: each subsequent batch is aggregated
+*locally*, the partial results are hash-partitioned to spill files, and a
+final pass merges partials per partition (benchmark E10). Partials are
+mergeable by construction: every aggregate is carried as (count, value).
+
+Supported: COUNT(*), COUNT(expr), SUM, MIN, MAX, AVG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from ...errors import ExecutionError
+from ..batch import DEFAULT_BATCH_SIZE, Batch
+from ..expressions import Column, Expr
+from ..memory import MemoryGrant
+from ..spill import SpillFile, partition_of
+from .base import BatchOperator
+
+COUNT_STAR = "count_star"
+_FUNCS = {COUNT_STAR, "count", "sum", "min", "max", "avg"}
+_SPILL_PARTITIONS = 8
+# Estimated retained bytes per group (keys + accumulators), for the grant.
+_BYTES_PER_GROUP = 96
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate: function, argument expression, output column name."""
+
+    func: str
+    expr: Expr | None
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.func not in _FUNCS:
+            raise ExecutionError(f"unknown aggregate function {self.func!r}")
+        if self.func == COUNT_STAR and self.expr is not None:
+            raise ExecutionError("COUNT(*) takes no argument")
+        if self.func != COUNT_STAR and self.expr is None:
+            raise ExecutionError(f"{self.func} requires an argument")
+
+
+@dataclass
+class AggregateStats:
+    input_rows: int = 0
+    groups: int = 0
+    spilled: bool = False
+    partials_spilled: int = 0
+
+
+
+class _GroupState:
+    """Group-key directory + vectorized per-aggregate accumulators.
+
+    Counts are NumPy arrays updated with ``np.add.at``; sum/min/max over
+    numeric arguments use scatter ufuncs (``np.add.at`` /
+    ``np.minimum.at`` / ``np.maximum.at``) against identity-initialized
+    arrays. Only string (object) aggregates fall back to a per-row loop.
+    Untouched slots are detected through the per-spec non-null counts, so
+    identity values never leak into results.
+    """
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self, key_names: list[str], specs: list[AggregateSpec]) -> None:
+        self.key_names = key_names
+        self.specs = specs
+        self.key_to_gid: dict[tuple, int] = {}
+        self.key_rows: list[tuple] = []
+        self._capacity = self._INITIAL_CAPACITY
+        self.counts: list[np.ndarray] = [
+            np.zeros(self._capacity, dtype=np.int64) for _ in specs
+        ]
+        # Per spec: None until first value, then (kind, store) where kind is
+        # "int" / "float" (NumPy array) or "obj" (Python list).
+        self._values: list[tuple[str, Any] | None] = [None for _ in specs]
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.key_rows)
+
+    def gid_of(self, key: tuple) -> int:
+        gid = self.key_to_gid.get(key)
+        if gid is None:
+            gid = len(self.key_rows)
+            self.key_to_gid[key] = gid
+            self.key_rows.append(key)
+            if gid >= self._capacity:
+                self._grow()
+        return gid
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        for i, arr in enumerate(self.counts):
+            grown = np.zeros(self._capacity, dtype=np.int64)
+            grown[: arr.size] = arr
+            self.counts[i] = grown
+        for i, store in enumerate(self._values):
+            if store is None:
+                continue
+            kind, data = store
+            if kind == "obj":
+                data.extend([None] * (self._capacity - len(data)))
+            else:
+                spec = self.specs[i]
+                grown = self._identity_array(spec.func, kind, self._capacity)
+                grown[: data.size] = data
+                self._values[i] = (kind, grown)
+
+    @staticmethod
+    def _identity_array(func: str, kind: str, size: int) -> np.ndarray:
+        if kind == "int":
+            if func == "min":
+                return np.full(size, np.iinfo(np.int64).max, dtype=np.int64)
+            if func == "max":
+                return np.full(size, np.iinfo(np.int64).min, dtype=np.int64)
+            return np.zeros(size, dtype=np.int64)
+        if func == "min":
+            return np.full(size, np.inf, dtype=np.float64)
+        if func == "max":
+            return np.full(size, -np.inf, dtype=np.float64)
+        return np.zeros(size, dtype=np.float64)
+
+    def _value_store(self, spec_index: int, values: np.ndarray):
+        """The (kind, store) pair for a spec, created on first use."""
+        store = self._values[spec_index]
+        if store is not None:
+            return store
+        spec = self.specs[spec_index]
+        if values.dtype == object:
+            store = ("obj", [None] * self._capacity)
+        elif np.issubdtype(values.dtype, np.integer) or values.dtype == np.bool_:
+            store = ("int", self._identity_array(spec.func, "int", self._capacity))
+        else:
+            store = ("float", self._identity_array(spec.func, "float", self._capacity))
+        self._values[spec_index] = store
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Update from raw input rows
+    # ------------------------------------------------------------------ #
+    def update(self, batch: Batch, gids: np.ndarray, active: np.ndarray) -> None:
+        for spec_index, spec in enumerate(self.specs):
+            if spec.func == COUNT_STAR:
+                np.add.at(self.counts[spec_index], gids, 1)
+                continue
+            values, nulls = spec.expr.eval_batch(batch)
+            values = values[active]
+            if nulls is not None:
+                present = ~nulls[active]
+                present_idx = np.flatnonzero(present)
+                present_gids = gids[present_idx]
+                present_values = values[present_idx]
+            else:
+                present_gids = gids
+                present_values = values
+            np.add.at(self.counts[spec_index], present_gids, 1)
+            if spec.func == "count" or present_values.size == 0:
+                continue
+            self._combine_values(spec_index, spec.func, present_gids, present_values)
+
+    def _combine_values(
+        self, spec_index: int, func: str, gids: np.ndarray, values: np.ndarray
+    ) -> None:
+        kind, store = self._value_store(spec_index, values)
+        if kind == "obj" or (values.dtype == object):
+            self._combine_object(spec_index, func, gids, values)
+            return
+        if kind == "int":
+            contributions = values.astype(np.int64)
+        else:
+            contributions = values.astype(np.float64)
+        if func in ("sum", "avg"):
+            np.add.at(store, gids, contributions)
+        elif func == "min":
+            np.minimum.at(store, gids, contributions)
+        else:
+            np.maximum.at(store, gids, contributions)
+
+    def _combine_object(
+        self, spec_index: int, func: str, gids: np.ndarray, values: np.ndarray
+    ) -> None:
+        store = self._values[spec_index]
+        if store is None or store[0] != "obj":
+            # Mixed dtypes across batches: demote the numeric store.
+            self._demote_to_object(spec_index)
+            store = self._values[spec_index]
+        data = store[1]
+        op = min if func == "min" else max if func == "max" else None
+        vals = values.tolist()
+        for gid, value in zip(gids.tolist(), vals):
+            current = data[gid]
+            if current is None:
+                data[gid] = value
+            elif op is not None:
+                data[gid] = op(current, value)
+            else:
+                data[gid] = current + value
+
+    def _demote_to_object(self, spec_index: int) -> None:
+        old = self._values[spec_index]
+        data: list = [None] * self._capacity
+        if old is not None and old[0] != "obj":
+            counts = self.counts[spec_index]
+            for gid in range(self.n_groups):
+                if counts[gid]:
+                    data[gid] = old[1][gid].item()
+        self._values[spec_index] = ("obj", data)
+
+    # ------------------------------------------------------------------ #
+    # Merge from partial rows (spill path)
+    # ------------------------------------------------------------------ #
+    def merge_partials(self, keys: list[tuple], partial_columns: dict[str, list]) -> None:
+        for row_index, key in enumerate(keys):
+            gid = self.gid_of(key)
+            for spec_index, spec in enumerate(self.specs):
+                count = partial_columns[f"__{spec.name}_count"][row_index]
+                self.counts[spec_index][gid] += int(count)
+                if spec.func in (COUNT_STAR, "count") or not count:
+                    continue
+                value = partial_columns[f"__{spec.name}_value"][row_index]
+                if value is None:
+                    continue
+                self._merge_one(spec_index, spec.func, gid, value)
+
+    def _merge_one(self, spec_index: int, func: str, gid: int, value: Any) -> None:
+        sample = np.array([value])
+        kind, store = self._value_store(spec_index, sample)
+        if kind == "obj":
+            data = store
+            current = data[gid]
+            if current is None:
+                data[gid] = value
+            elif func == "min":
+                data[gid] = min(current, value)
+            elif func == "max":
+                data[gid] = max(current, value)
+            else:
+                data[gid] = current + value
+            return
+        if func in ("sum", "avg"):
+            store[gid] += value
+        elif func == "min":
+            store[gid] = min(store[gid], value)
+        else:
+            store[gid] = max(store[gid], value)
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+    def _value_at(self, spec_index: int, gid: int) -> Any:
+        if not self.counts[spec_index][gid]:
+            return None
+        store = self._values[spec_index]
+        if store is None:
+            return None
+        kind, data = store
+        if kind == "obj":
+            return data[gid]
+        return data[gid].item()
+
+    def finalize(self) -> Batch:
+        n = self.n_groups
+        data: dict[str, list] = {}
+        for position, name in enumerate(self.key_names):
+            data[name] = [key[position] for key in self.key_rows]
+        for spec_index, spec in enumerate(self.specs):
+            counts = self.counts[spec_index]
+            if spec.func in (COUNT_STAR, "count"):
+                data[spec.name] = counts[:n].tolist()
+            elif spec.func == "avg":
+                data[spec.name] = [
+                    (value / counts[g]) if (value := self._value_at(spec_index, g)) is not None else None
+                    for g in range(n)
+                ]
+            else:
+                data[spec.name] = [self._value_at(spec_index, g) for g in range(n)]
+        return Batch.from_pydict(data)
+
+    def to_partial_batch(self) -> Batch:
+        """Serialize state as mergeable partial rows."""
+        n = self.n_groups
+        data: dict[str, list] = {}
+        for position, name in enumerate(self.key_names):
+            data[name] = [key[position] for key in self.key_rows]
+        for spec_index, spec in enumerate(self.specs):
+            data[f"__{spec.name}_count"] = self.counts[spec_index][:n].tolist()
+            if spec.func not in (COUNT_STAR, "count"):
+                data[f"__{spec.name}_value"] = [
+                    self._value_at(spec_index, g) for g in range(n)
+                ]
+        return Batch.from_pydict(data)
+
+
+
+
+class BatchHashAggregate(BatchOperator):
+    """GROUP BY + aggregates over a batch stream."""
+
+    def __init__(
+        self,
+        child: BatchOperator,
+        group_keys: list[str],
+        aggregates: list[AggregateSpec],
+        grant: MemoryGrant | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        names = [*group_keys, *(spec.name for spec in aggregates)]
+        if len(set(names)) != len(names):
+            raise ExecutionError(f"duplicate output names in aggregate: {names}")
+        self.child = child
+        self.group_keys = list(group_keys)
+        self.aggregates = list(aggregates)
+        self.grant = grant or MemoryGrant()
+        self.batch_size = batch_size
+        self.stats = AggregateStats()
+
+    @property
+    def output_names(self) -> list[str]:
+        return [*self.group_keys, *(spec.name for spec in self.aggregates)]
+
+    def describe(self) -> str:
+        aggs = ", ".join(f"{s.func}({s.expr or '*'}) AS {s.name}" for s in self.aggregates)
+        return f"BatchHashAggregate(keys={self.group_keys}, aggs=[{aggs}])"
+
+    def child_operators(self) -> list[BatchOperator]:
+        return [self.child]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def batches(self) -> Iterator[Batch]:
+        state = _GroupState(self.group_keys, self.aggregates)
+        spills: list[SpillFile] | None = None
+        reserved = 0
+        child_batches = self.child.batches()
+        for batch in child_batches:
+            self.stats.input_rows += batch.active_count
+            if spills is None:
+                self._accumulate(state, batch)
+                needed = state.n_groups * _BYTES_PER_GROUP
+                if needed > reserved:
+                    if self.grant.try_reserve(needed - reserved):
+                        reserved = needed
+                    else:
+                        # Grant exhausted: switch to local-aggregate + spill.
+                        self.stats.spilled = True
+                        spills = [SpillFile() for _ in range(_SPILL_PARTITIONS)]
+                        self._spill_partials(state.to_partial_batch(), spills)
+                        self.grant.release(reserved)
+                        reserved = 0
+                        state = _GroupState(self.group_keys, self.aggregates)
+            else:
+                local = _GroupState(self.group_keys, self.aggregates)
+                self._accumulate(local, batch)
+                self._spill_partials(local.to_partial_batch(), spills)
+
+        if spills is None:
+            self.grant.release(reserved)
+            if state.n_groups == 0 and not self.group_keys:
+                state.gid_of(())  # scalar aggregate over empty input: one row
+            self.stats.groups = state.n_groups
+            yield from _slice(state.finalize(), self.batch_size)
+            return
+
+        # Final phase: any residual in-memory state joins the partitions.
+        if state.n_groups:
+            self._spill_partials(state.to_partial_batch(), spills)
+        self.stats.partials_spilled = sum(s.rows for s in spills)
+        try:
+            total_groups = 0
+            for spill in spills:
+                merged = _GroupState(self.group_keys, self.aggregates)
+                for partial in spill.read_back():
+                    keys, partial_columns = self._partial_rows(partial)
+                    merged.merge_partials(keys, partial_columns)
+                if merged.n_groups:
+                    total_groups += merged.n_groups
+                    yield from _slice(merged.finalize(), self.batch_size)
+            if total_groups == 0 and not self.group_keys:
+                empty = _GroupState(self.group_keys, self.aggregates)
+                empty.gid_of(())
+                total_groups = 1
+                yield from _slice(empty.finalize(), self.batch_size)
+            self.stats.groups = total_groups
+        finally:
+            for spill in spills:
+                spill.close()
+
+    # ------------------------------------------------------------------ #
+    # Accumulation helpers
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, state: _GroupState, batch: Batch) -> None:
+        active = batch.active_indices()
+        if active.size == 0:
+            return
+        gids = self._factorize(state, batch, active)
+        state.update(batch, gids, active)
+
+    def _factorize(self, state: _GroupState, batch: Batch, active: np.ndarray) -> np.ndarray:
+        """Map each active row to its dense group id."""
+        if not self.group_keys:
+            gid = state.gid_of(())
+            return np.full(active.size, gid, dtype=np.int64)
+        key_arrays = [batch.column(k) for k in self.group_keys]
+        key_masks = [batch.null_mask(k) for k in self.group_keys]
+        single = (
+            len(key_arrays) == 1
+            and key_arrays[0].dtype != object
+            and key_masks[0] is None
+        )
+        if single:
+            values = key_arrays[0][active]
+            uniques, inverse = np.unique(values, return_inverse=True)
+            gid_map = np.array(
+                [state.gid_of((u.item(),)) for u in uniques], dtype=np.int64
+            )
+            return gid_map[inverse]
+        columns = []
+        for arr, mask in zip(key_arrays, key_masks):
+            lst = arr[active].tolist()
+            if mask is not None:
+                flags = mask[active].tolist()
+                lst = [None if flag else v for v, flag in zip(lst, flags)]
+            columns.append(lst)
+        return np.fromiter(
+            (state.gid_of(key) for key in zip(*columns)),
+            dtype=np.int64,
+            count=active.size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Spill helpers
+    # ------------------------------------------------------------------ #
+    def _spill_partials(self, partial: Batch, spills: list[SpillFile]) -> None:
+        if partial.row_count == 0:
+            return
+        key = _partition_key(partial, self.group_keys)
+        parts = partition_of(key, _SPILL_PARTITIONS)
+        for p in range(_SPILL_PARTITIONS):
+            idx = np.flatnonzero(parts == p)
+            if idx.size == 0:
+                continue
+            spills[p].append(
+                Batch(
+                    columns={n: a[idx] for n, a in partial.columns.items()},
+                    null_masks={
+                        n: (m[idx] if m is not None else None)
+                        for n, m in partial.null_masks.items()
+                    },
+                )
+            )
+
+    def _partial_rows(self, partial: Batch) -> tuple[list[tuple], dict[str, list]]:
+        dense = partial.compact()
+        keys_columns = []
+        for name in self.group_keys:
+            arr = dense.column(name).tolist()
+            mask = dense.null_mask(name)
+            if mask is not None:
+                flags = mask.tolist()
+                arr = [None if flag else v for v, flag in zip(arr, flags)]
+            keys_columns.append(arr)
+        keys = list(zip(*keys_columns)) if self.group_keys else [()] * dense.row_count
+        partial_columns: dict[str, list] = {}
+        for spec in self.aggregates:
+            for suffix in ("count", "value"):
+                column = f"__{spec.name}_{suffix}"
+                if column in dense.columns:
+                    arr = dense.column(column).tolist()
+                    mask = dense.null_mask(column)
+                    if mask is not None:
+                        flags = mask.tolist()
+                        arr = [None if flag else v for v, flag in zip(arr, flags)]
+                    partial_columns[column] = arr
+        return keys, partial_columns
+
+
+def _partition_key(batch: Batch, group_keys: list[str]) -> np.ndarray:
+    if not group_keys:
+        return np.zeros(batch.row_count, dtype=np.int64)
+    if len(group_keys) == 1:
+        return batch.column(group_keys[0])
+    columns = [batch.column(k).tolist() for k in group_keys]
+    out = np.empty(batch.row_count, dtype=object)
+    out[:] = list(zip(*columns))
+    return out
+
+
+def _slice(batch: Batch, batch_size: int) -> Iterator[Batch]:
+    from ..batch import slice_into_batches
+
+    yield from slice_into_batches(batch, batch_size)
+
+
+def count_star(name: str = "count") -> AggregateSpec:
+    """Convenience constructor for COUNT(*)."""
+    return AggregateSpec(COUNT_STAR, None, name)
+
+
+def agg(func: str, column_or_expr, name: str) -> AggregateSpec:
+    """Convenience constructor: ``agg("sum", "amount", "total")``."""
+    expr = Column(column_or_expr) if isinstance(column_or_expr, str) else column_or_expr
+    return AggregateSpec(func, expr, name)

@@ -1,0 +1,53 @@
+"""Batch-mode projection: computes named output expressions per batch."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..batch import Batch
+from ..expressions import Column, Expr
+from .base import BatchOperator
+
+
+class BatchProject(BatchOperator):
+    """Evaluates ``(name, expression)`` pairs over each input batch.
+
+    Plain column references are passed through without copying; computed
+    expressions are evaluated vectorized over the full batch (the batch
+    selection vector is preserved, so non-qualifying rows carry garbage
+    that downstream operators never look at — as in the paper's engine).
+    """
+
+    def __init__(self, child: BatchOperator, projections: list[tuple[str, Expr]]) -> None:
+        self.child = child
+        self.projections = list(projections)
+
+    @property
+    def output_names(self) -> list[str]:
+        return [name for name, _ in self.projections]
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{name}={expr}" for name, expr in self.projections)
+        return f"BatchProject({inner})"
+
+    def child_operators(self) -> list[BatchOperator]:
+        return [self.child]
+
+    def batches(self) -> Iterator[Batch]:
+        for batch in self.child.batches():
+            columns = {}
+            null_masks = {}
+            for name, expr in self.projections:
+                if isinstance(expr, Column):
+                    columns[name] = batch.column(expr.name)
+                    null_masks[name] = batch.null_mask(expr.name)
+                else:
+                    values, nulls = expr.eval_batch(batch)
+                    columns[name] = values
+                    null_masks[name] = nulls
+            yield Batch(
+                columns=columns,
+                null_masks=null_masks,
+                selection=batch.selection,
+                locators=batch.locators,
+            )

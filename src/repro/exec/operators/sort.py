@@ -1,0 +1,253 @@
+"""Batch-mode sort and TOP-N operators."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+import numpy as np
+
+from ...errors import ExecutionError
+from ..batch import DEFAULT_BATCH_SIZE, Batch, concat_batches, slice_into_batches
+from .base import BatchOperator
+
+
+class _NullsLast:
+    """Sort key wrapper placing NULLs last in ascending order."""
+
+    __slots__ = ("is_null", "value")
+
+    def __init__(self, value: Any) -> None:
+        self.is_null = value is None
+        self.value = value
+
+    def __lt__(self, other: "_NullsLast") -> bool:
+        if self.is_null:
+            return False
+        if other.is_null:
+            return True
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _NullsLast):
+            return NotImplemented
+        return self.is_null == other.is_null and self.value == other.value
+
+
+def _sort_indices(batch: Batch, keys: list[tuple[str, bool]]) -> np.ndarray:
+    """Stable multi-key sort of a dense batch; descending per key supported."""
+    n = batch.row_count
+    indices = np.arange(n, dtype=np.int64)
+    # Stable sort applied from the least-significant key backwards.
+    for name, descending in reversed(keys):
+        values = batch.column(name)
+        mask = batch.null_mask(name)
+        if values.dtype == object or mask is not None:
+            lst = values.tolist()
+            if mask is not None:
+                key_list = [
+                    _NullsLast(None if mask[i] else lst[i]) for i in indices.tolist()
+                ]
+            else:
+                key_list = [_NullsLast(lst[i]) for i in indices.tolist()]
+            order = sorted(range(n), key=lambda i: key_list[i], reverse=descending)
+            indices = indices[np.array(order, dtype=np.int64)]
+        else:
+            arr = values[indices]
+            order = np.argsort(arr, kind="stable")
+            if descending:
+                order = order[::-1]
+                # argsort is ascending-stable; reversing breaks stability on
+                # equal keys, so re-stabilize by reversing equal runs.
+                order = _stabilize_descending(arr, order)
+            indices = indices[order]
+    return indices
+
+
+def _stabilize_descending(values: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Make a reversed ascending argsort stable for descending order."""
+    sorted_vals = values[order]
+    result = order.copy()
+    start = 0
+    n = order.size
+    for end in range(1, n + 1):
+        if end == n or sorted_vals[end] != sorted_vals[start]:
+            result[start:end] = result[start:end][::-1]
+            start = end
+    return result
+
+
+class BatchSort(BatchOperator):
+    """Full sort: consumes the child, sorts, re-emits in batches.
+
+    ``keys`` is a list of (column, descending) pairs. NULLs sort last in
+    ascending order (SQL Server sorts them first; documented divergence
+    kept consistent across both engines).
+    """
+
+    def __init__(
+        self,
+        child: BatchOperator,
+        keys: list[tuple[str, bool]],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if not keys:
+            raise ExecutionError("sort requires at least one key")
+        self.child = child
+        self.keys = list(keys)
+        self.batch_size = batch_size
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.child.output_names
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{n}{' DESC' if d else ''}" for n, d in self.keys)
+        return f"BatchSort({inner})"
+
+    def child_operators(self) -> list[BatchOperator]:
+        return [self.child]
+
+    def batches(self) -> Iterator[Batch]:
+        merged = concat_batches(list(self.child.batches()))
+        if merged is None:
+            return
+        indices = _sort_indices(merged, self.keys)
+        sorted_batch = Batch(
+            columns={n: a[indices] for n, a in merged.columns.items()},
+            null_masks={
+                n: (m[indices] if m is not None else None)
+                for n, m in merged.null_masks.items()
+            },
+        )
+        yield from slice_into_batches(sorted_batch, self.batch_size)
+
+
+class BatchTop(BatchOperator):
+    """TOP-N with optional ordering, implemented with a bounded heap.
+
+    Without keys it is a plain LIMIT (first N rows in stream order).
+    """
+
+    def __init__(
+        self,
+        child: BatchOperator,
+        limit: int,
+        keys: list[tuple[str, bool]] | None = None,
+    ) -> None:
+        if limit < 0:
+            raise ExecutionError(f"LIMIT must be non-negative, got {limit}")
+        self.child = child
+        self.limit = limit
+        self.keys = list(keys) if keys else []
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.child.output_names
+
+    def describe(self) -> str:
+        return f"BatchTop(limit={self.limit}, keys={self.keys})"
+
+    def child_operators(self) -> list[BatchOperator]:
+        return [self.child]
+
+    def batches(self) -> Iterator[Batch]:
+        if self.limit == 0:
+            return
+        if not self.keys:
+            yield from self._plain_limit()
+            return
+        yield from self._heap_top()
+
+    def _plain_limit(self) -> Iterator[Batch]:
+        remaining = self.limit
+        for batch in self.child.batches():
+            dense = batch.compact()
+            if dense.row_count <= remaining:
+                remaining -= dense.row_count
+                yield dense
+            else:
+                yield Batch(
+                    columns={n: a[:remaining] for n, a in dense.columns.items()},
+                    null_masks={
+                        n: (m[:remaining] if m is not None else None)
+                        for n, m in dense.null_masks.items()
+                    },
+                )
+                remaining = 0
+            if remaining == 0:
+                return
+
+    def _heap_top(self) -> Iterator[Batch]:
+        # A max-heap (via inverted keys) keeps the best N rows seen so far;
+        # -sequence breaks ties so that on equal keys the earliest row wins.
+        names = self.output_names
+        heap: list[tuple["_Inverted", int, tuple[Any, ...]]] = []
+        sequence = 0
+        for batch in self.child.batches():
+            for row in batch.to_rows():
+                row_map = dict(zip(names, row))
+                key = tuple(
+                    _heap_component(row_map[name], descending)
+                    for name, descending in self.keys
+                )
+                entry = (_Inverted(key), -sequence, row)
+                sequence += 1
+                if len(heap) < self.limit:
+                    heapq.heappush(heap, entry)
+                else:
+                    heapq.heappushpop(heap, entry)
+        ordered = sorted(heap, key=lambda e: (_Inverted(e[0].key), e[1]), reverse=True)
+        rows = [row for _, _, row in ordered]
+        if not rows:
+            return
+        data = {name: [row[i] for row in rows] for i, name in enumerate(names)}
+        yield Batch.from_pydict(data)
+
+
+def _heap_component(value: Any, descending: bool) -> Any:
+    wrapped = _NullsLast(value)
+    return _Descending(wrapped) if descending else wrapped
+
+
+class _Descending:
+    """Inverts comparison for descending sort keys."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Any) -> None:
+        self.inner = inner
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.inner < self.inner
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _Descending):
+            return NotImplemented
+        return self.inner == other.inner
+
+
+class _Inverted:
+    """Heap adapter: reverses the tuple comparison (max-heap via heapq)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Inverted") -> bool:
+        return _tuple_less(other.key, self.key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _Inverted):
+            return NotImplemented
+        return not _tuple_less(self.key, other.key) and not _tuple_less(other.key, self.key)
+
+
+def _tuple_less(a: tuple, b: tuple) -> bool:
+    for x, y in zip(a, b):
+        if x < y:
+            return True
+        if y < x:
+            return False
+    return len(a) < len(b)

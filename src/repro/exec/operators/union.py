@@ -1,0 +1,49 @@
+"""Batch-mode concatenation (UNION ALL)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...errors import ExecutionError
+from ..batch import Batch
+from .base import BatchOperator
+
+
+class BatchConcat(BatchOperator):
+    """UNION ALL: streams every child's batches in order.
+
+    Children must agree on output column names (position-wise rename is
+    applied to match the first child).
+    """
+
+    def __init__(self, children: list[BatchOperator]) -> None:
+        if not children:
+            raise ExecutionError("BatchConcat requires at least one child")
+        arities = {len(child.output_names) for child in children}
+        if len(arities) != 1:
+            raise ExecutionError(f"UNION ALL children disagree on arity: {arities}")
+        self.children = list(children)
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.children[0].output_names
+
+    def child_operators(self) -> list[BatchOperator]:
+        return list(self.children)
+
+    def batches(self) -> Iterator[Batch]:
+        names = self.output_names
+        for child in self.children:
+            child_names = child.output_names
+            rename = dict(zip(child_names, names))
+            for batch in child.batches():
+                if child_names == names:
+                    yield batch
+                else:
+                    yield Batch(
+                        columns={rename[n]: arr for n, arr in batch.columns.items()},
+                        null_masks={
+                            rename[n]: mask for n, mask in batch.null_masks.items()
+                        },
+                        selection=batch.selection,
+                    )

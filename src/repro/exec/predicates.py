@@ -1,0 +1,117 @@
+"""Predicate analysis shared by the scan operator and the planner.
+
+Splits predicates into conjuncts, extracts per-column value ranges for
+segment elimination, and classifies which conjuncts can be evaluated in
+encoded (dictionary-code) space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .expressions import And, Between, Column, Comparison, Expr, InList, Literal
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten nested ANDs into a conjunct list (empty for None)."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: list[Expr] = []
+        for conjunct in expr.conjuncts:
+            out.extend(split_conjuncts(conjunct))
+        return out
+    return [expr]
+
+
+def combine_conjuncts(conjuncts: list[Expr]) -> Expr | None:
+    """Inverse of :func:`split_conjuncts`."""
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(*conjuncts)
+
+
+@dataclass
+class ColumnRange:
+    """Accumulated [low, high] bounds for one column (None = unbounded)."""
+
+    low: Any = None
+    high: Any = None
+
+    def tighten_low(self, value: Any) -> None:
+        if self.low is None or value > self.low:
+            self.low = value
+
+    def tighten_high(self, value: Any) -> None:
+        if self.high is None or value < self.high:
+            self.high = value
+
+
+def extract_column_ranges(conjuncts: list[Expr]) -> dict[str, ColumnRange]:
+    """Per-column [low, high] bounds implied by simple conjuncts.
+
+    Understands ``col <op> literal`` (either side), ``col BETWEEN a AND b``
+    and ``col IN (...)``. Used for segment elimination: a segment whose
+    [min, max] misses the range cannot contain qualifying rows.
+    """
+    ranges: dict[str, ColumnRange] = {}
+
+    def bounds_for(name: str) -> ColumnRange:
+        return ranges.setdefault(name, ColumnRange())
+
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Comparison):
+            column, literal, op = _normalize_comparison(conjunct)
+            if column is None:
+                continue
+            rng = bounds_for(column)
+            if op == "=":
+                rng.tighten_low(literal)
+                rng.tighten_high(literal)
+            elif op in ("<", "<="):
+                rng.tighten_high(literal)
+            elif op in (">", ">="):
+                rng.tighten_low(literal)
+            # != contributes no useful range
+        elif isinstance(conjunct, Between):
+            if (
+                isinstance(conjunct.operand, Column)
+                and isinstance(conjunct.low, Literal)
+                and isinstance(conjunct.high, Literal)
+                and conjunct.low.value is not None
+                and conjunct.high.value is not None
+            ):
+                rng = bounds_for(conjunct.operand.name)
+                rng.tighten_low(conjunct.low.value)
+                rng.tighten_high(conjunct.high.value)
+        elif isinstance(conjunct, InList):
+            if isinstance(conjunct.operand, Column) and conjunct.values:
+                non_null = [v for v in conjunct.values if v is not None]
+                if non_null:
+                    rng = bounds_for(conjunct.operand.name)
+                    rng.tighten_low(min(non_null))
+                    rng.tighten_high(max(non_null))
+    return ranges
+
+
+def _normalize_comparison(comparison: Comparison) -> tuple[str | None, Any, str]:
+    """Return (column, literal, op) with the column on the left, or
+    (None, ..) when the shape is not column-vs-literal."""
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+    left, right = comparison.left, comparison.right
+    if isinstance(left, Column) and isinstance(right, Literal) and right.value is not None:
+        return left.name, right.value, comparison.op
+    if isinstance(left, Literal) and isinstance(right, Column) and left.value is not None:
+        return right.name, left.value, flip[comparison.op]
+    return None, None, comparison.op
+
+
+def single_column_of(expr: Expr) -> str | None:
+    """The only column an expression references, or None if not exactly one."""
+    refs = expr.referenced_columns()
+    if len(refs) == 1:
+        return next(iter(refs))
+    return None

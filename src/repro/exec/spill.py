@@ -1,0 +1,89 @@
+"""Spill files for hash join and hash aggregation.
+
+When an operator's memory grant runs out it partitions its input by key
+hash and writes partitions to spill files, then processes partitions one at
+a time — the paper's graceful-degradation behaviour. Spill files are real
+temporary files (pickled dense batches), so spilling has a genuine I/O and
+serialization cost in benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .batch import Batch
+
+
+class SpillFile:
+    """An append-then-read-back stream of dense batches on disk."""
+
+    def __init__(self) -> None:
+        fd, self._path = tempfile.mkstemp(prefix="repro-spill-", suffix=".bin")
+        self._file = os.fdopen(fd, "w+b")
+        self._n_batches = 0
+        self._rows = 0
+        self._closed = False
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def n_batches(self) -> int:
+        return self._n_batches
+
+    def append(self, batch: Batch) -> None:
+        if self._closed:
+            raise ExecutionError("spill file is closed")
+        dense = batch.compact()
+        if dense.row_count == 0:
+            return
+        payload = pickle.dumps(
+            (dense.columns, dense.null_masks), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._file.write(len(payload).to_bytes(8, "little"))
+        self._file.write(payload)
+        self._n_batches += 1
+        self._rows += dense.row_count
+
+    def read_back(self):
+        """Yield the spilled batches in write order."""
+        if self._closed:
+            raise ExecutionError("spill file is closed")
+        self._file.flush()
+        self._file.seek(0)
+        for _ in range(self._n_batches):
+            header = self._file.read(8)
+            if len(header) != 8:
+                raise ExecutionError("truncated spill file")
+            length = int.from_bytes(header, "little")
+            columns, null_masks = pickle.loads(self._file.read(length))
+            yield Batch(columns=columns, null_masks=null_masks)
+        self._file.seek(0, os.SEEK_END)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._file.close()
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        self.close()
+
+
+def partition_of(keys: np.ndarray, n_partitions: int) -> np.ndarray:
+    """Deterministic hash partition of key values into ``n_partitions``."""
+    from .bloom import _hash_keys
+
+    hashed = _hash_keys(keys)
+    return ((hashed * np.uint64(0x9E3779B97F4A7C15)) >> np.uint64(32)).astype(
+        np.int64
+    ) % n_partitions

@@ -1,0 +1,32 @@
+"""Query planning: logical algebra, rewrite rules, costing, physical plans.
+
+The optimizer implements the paper's planning enhancements: predicate
+pushdown into columnstore scans, star-join detection with bitmap-filter
+placement, build/probe side selection by estimated cardinality, and
+batch-vs-row execution mode selection per plan fragment.
+"""
+
+from .logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from .optimizer import Optimizer, PhysicalPlan
+
+__all__ = [
+    "LogicalAggregate",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalLimit",
+    "LogicalNode",
+    "LogicalProject",
+    "LogicalScan",
+    "LogicalSort",
+    "Optimizer",
+    "PhysicalPlan",
+]

@@ -1,0 +1,225 @@
+"""Logical rewrite rules.
+
+The optimizer applies, in order: filter pushdown (conjuncts sink to the
+deepest node that has their columns — into the scan itself when
+single-table), column pruning (scans read only what the plan needs),
+build-side selection for joins and bitmap-filter placement for star joins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import PlanningError
+from ..exec.expressions import Expr
+from ..exec.predicates import combine_conjuncts, split_conjuncts
+from .logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from .stats import TableStats
+
+# Joins whose estimated build side is below this many rows, or below this
+# fraction of the probe side, get a pushed-down bitmap filter.
+BITMAP_MAX_BUILD_ROWS = 1_000_000
+BITMAP_BUILD_PROBE_RATIO = 0.5
+
+
+# ---------------------------------------------------------------------- #
+# Filter pushdown
+# ---------------------------------------------------------------------- #
+def push_filters(node: LogicalNode) -> LogicalNode:
+    """Sink filter conjuncts as deep as their column references allow."""
+    return _push(node, [])
+
+
+def _push(node: LogicalNode, pending: list[Expr]) -> LogicalNode:
+    if isinstance(node, LogicalFilter):
+        return _push(node.child, pending + split_conjuncts(node.predicate))
+
+    if isinstance(node, LogicalScan):
+        conjuncts = split_conjuncts(node.predicate) + pending
+        node.predicate = combine_conjuncts(conjuncts)
+        return node
+
+    if isinstance(node, LogicalJoin):
+        left_names = set(node.left.output_names())
+        right_names = set(node.right.output_names())
+        # A conjunct may sink below a join only on sides the join does not
+        # null-extend: LEFT joins null-extend the right side, RIGHT joins
+        # the left side, FULL joins both.
+        left_pushable = node.join_type in ("inner", "left", "semi", "anti")
+        right_pushable = node.join_type in ("inner", "right")
+        to_left: list[Expr] = []
+        to_right: list[Expr] = []
+        stay: list[Expr] = []
+        for conjunct in pending:
+            refs = conjunct.referenced_columns()
+            if refs <= left_names and left_pushable:
+                to_left.append(conjunct)
+            elif refs <= right_names and right_pushable:
+                to_right.append(conjunct)
+            else:
+                stay.append(conjunct)
+        node.left = _push(node.left, to_left)
+        node.right = _push(node.right, to_right)
+        return _wrap_filter(node, stay)
+
+    if isinstance(node, LogicalProject):
+        # Push conjuncts that only reference pass-through columns.
+        passthrough = {
+            name: expr
+            for name, expr in node.projections
+            if _is_column(expr)
+        }
+        pushable: list[Expr] = []
+        stay = []
+        from .rewrite import rename_columns
+
+        for conjunct in pending:
+            refs = conjunct.referenced_columns()
+            if refs <= set(passthrough):
+                mapping = {name: passthrough[name].name for name in refs}
+                pushable.append(rename_columns(conjunct, mapping))
+            else:
+                stay.append(conjunct)
+        node.child = _push(node.child, pushable)
+        return _wrap_filter(node, stay)
+
+    if isinstance(node, (LogicalSort, LogicalLimit, LogicalAggregate)):
+        if isinstance(node, LogicalAggregate):
+            # Only group-key conjuncts may cross an aggregate.
+            keys = set(node.group_keys)
+            pushable = [c for c in pending if c.referenced_columns() <= keys]
+            stay = [c for c in pending if c not in pushable]
+            node.child = _push(node.child, pushable)
+            return _wrap_filter(node, stay)
+        node.child = _push(node.child, pending)
+        return node
+
+    return _wrap_filter(node, pending)
+
+
+def _is_column(expr: Expr) -> bool:
+    from ..exec.expressions import Column
+
+    return isinstance(expr, Column)
+
+
+def _wrap_filter(node: LogicalNode, conjuncts: list[Expr]) -> LogicalNode:
+    predicate = combine_conjuncts(conjuncts)
+    if predicate is None:
+        return node
+    return LogicalFilter(node, predicate)
+
+
+# ---------------------------------------------------------------------- #
+# Column pruning
+# ---------------------------------------------------------------------- #
+def prune_columns(node: LogicalNode, required: set[str] | None = None) -> LogicalNode:
+    """Restrict every scan to the columns the plan actually uses."""
+    if required is None:
+        required = set(node.output_names())
+
+    if isinstance(node, LogicalScan):
+        needed = set(required)
+        if node.predicate is not None:
+            needed |= node.predicate.referenced_columns()
+        node.projections = {
+            name: storage
+            for name, storage in node.projections.items()
+            if name in needed
+        }
+        if not node.projections:
+            raise PlanningError(f"scan of {node.table} would produce no columns")
+        return node
+
+    if isinstance(node, LogicalFilter):
+        node.child = prune_columns(
+            node.child, required | node.predicate.referenced_columns()
+        )
+        return node
+
+    if isinstance(node, LogicalProject):
+        node.projections = [(n, e) for n, e in node.projections if n in required]
+        child_needed: set[str] = set()
+        for _, expr in node.projections:
+            child_needed |= expr.referenced_columns()
+        node.child = prune_columns(node.child, child_needed)
+        return node
+
+    if isinstance(node, LogicalJoin):
+        left_names = set(node.left.output_names())
+        right_names = set(node.right.output_names())
+        left_req = (required & left_names) | set(node.left_keys)
+        right_req = (required & right_names) | set(node.right_keys)
+        node.left = prune_columns(node.left, left_req)
+        node.right = prune_columns(node.right, right_req)
+        return node
+
+    if isinstance(node, LogicalAggregate):
+        child_needed = set(node.group_keys)
+        for spec in node.aggregates:
+            if spec.expr is not None:
+                child_needed |= spec.expr.referenced_columns()
+        if not child_needed:
+            # COUNT(*) over no keys still needs one column to count rows.
+            child_names = node.child.output_names()
+            child_needed = {child_names[0]}
+        node.child = prune_columns(node.child, child_needed)
+        return node
+
+    if isinstance(node, LogicalSort):
+        node.child = prune_columns(node.child, required | {k for k, _ in node.keys})
+        return node
+
+    if isinstance(node, LogicalLimit):
+        node.child = prune_columns(node.child, required)
+        return node
+
+    raise PlanningError(f"unknown logical node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------- #
+# Join side selection and bitmap placement
+# ---------------------------------------------------------------------- #
+def choose_join_sides(
+    node: LogicalNode, estimate: Callable[[LogicalNode], float]
+) -> LogicalNode:
+    """Make the smaller input the build (right) side of each inner join."""
+    for attr in ("child", "left", "right"):
+        child = getattr(node, attr, None)
+        if isinstance(child, LogicalNode):
+            setattr(node, attr, choose_join_sides(child, estimate))
+    if isinstance(node, LogicalJoin) and node.join_type == "inner":
+        if estimate(node.right) > estimate(node.left):
+            node.left, node.right = node.right, node.left
+            node.left_keys, node.right_keys = node.right_keys, node.left_keys
+    return node
+
+
+def place_bitmaps(
+    node: LogicalNode, estimate: Callable[[LogicalNode], float]
+) -> LogicalNode:
+    """Enable bitmap pushdown on joins with small/selective build sides."""
+    for attr in ("child", "left", "right"):
+        child = getattr(node, attr, None)
+        if isinstance(child, LogicalNode):
+            setattr(node, attr, place_bitmaps(child, estimate))
+    if isinstance(node, LogicalJoin) and node.use_bitmap is None:
+        if node.join_type in ("inner", "semi"):
+            build_rows = estimate(node.right)
+            probe_rows = max(1.0, estimate(node.left))
+            node.use_bitmap = (
+                build_rows <= BITMAP_MAX_BUILD_ROWS
+                and build_rows / probe_rows <= BITMAP_BUILD_PROBE_RATIO
+            )
+        else:
+            node.use_bitmap = False
+    return node

@@ -1,0 +1,10 @@
+"""Row-store substrate: the baseline storage the paper compares against.
+
+A slotted-page heap table with optional B+tree indexes and a PAGE-
+compression analogue for size accounting. The row-mode execution engine
+(:mod:`repro.exec.row_engine`) scans these tables tuple at a time.
+"""
+
+from .table import RowId, RowStoreTable
+
+__all__ = ["RowId", "RowStoreTable"]

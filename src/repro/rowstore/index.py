@@ -1,0 +1,68 @@
+"""B+tree secondary indexes over row-store tables."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import StorageError
+from ..schema import TableSchema
+from ..storage.btree import BPlusTree
+from .table import RowId, RowStoreTable
+
+
+class RowStoreIndex:
+    """A (possibly non-unique) B+tree index mapping key columns to row ids.
+
+    Non-unique keys are disambiguated by appending the row id to the key
+    tuple, keeping B+tree keys unique while preserving range-scan order.
+    """
+
+    def __init__(self, table: RowStoreTable, columns: list[str], order: int = 64) -> None:
+        schema: TableSchema = table.schema
+        self.table = table
+        self.columns = list(columns)
+        self._positions = [schema.position(c) for c in columns]
+        self._tree = BPlusTree(order=order)
+        for rid, row in table.scan():
+            self.insert(row, rid)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def _key_of(self, row: tuple[Any, ...]) -> tuple:
+        key = tuple(row[p] for p in self._positions)
+        if any(v is None for v in key):
+            return key  # NULLs index as None (sort handled by wrapper below)
+        return key
+
+    def insert(self, row: tuple[Any, ...], rid: RowId) -> None:
+        key = self._key_of(row)
+        if any(v is None for v in key):
+            return  # NULL keys are not indexed (filtered like SQL Server's)
+        self._tree.insert((*key, rid.page, rid.slot), rid)
+
+    def delete(self, row: tuple[Any, ...], rid: RowId) -> bool:
+        key = self._key_of(row)
+        if any(v is None for v in key):
+            return False
+        return self._tree.delete((*key, rid.page, rid.slot))
+
+    def seek_equal(self, key: tuple) -> Iterator[RowId]:
+        """All row ids whose index key equals ``key`` exactly."""
+        if len(key) != len(self.columns):
+            raise StorageError(
+                f"seek key arity {len(key)} does not match index ({len(self.columns)})"
+            )
+        low = (*key, -1, -1)
+        high = (*key, float("inf"), float("inf"))
+        for _, rid in self._tree.range(low, high):
+            yield rid
+
+    def seek_range(
+        self, low: tuple | None, high: tuple | None
+    ) -> Iterator[RowId]:
+        """Row ids with low <= key <= high on the leading columns."""
+        low_key = (*low, -1, -1) if low is not None else None
+        high_key = (*high, float("inf"), float("inf")) if high is not None else None
+        for _, rid in self._tree.range(low_key, high_key):
+            yield rid

@@ -1,0 +1,89 @@
+"""The row-store heap table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..errors import StorageError
+from ..schema import TableSchema
+from .page import PAGE_SIZE_BYTES, Page, row_size_bytes
+
+
+@dataclass(frozen=True)
+class RowId:
+    """Stable address of a row-store row: (page, slot)."""
+
+    page: int
+    slot: int
+
+
+class RowStoreTable:
+    """A heap of slotted pages holding physical row tuples."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._pages: list[Page] = []
+        self._live = 0
+
+    # ------------------------------------------------------------------ #
+    # DML
+    # ------------------------------------------------------------------ #
+    def insert(self, row: tuple[Any, ...]) -> RowId:
+        """Insert a physical row; returns its row id."""
+        n_bytes = row_size_bytes(self.schema, row)
+        if n_bytes > PAGE_SIZE_BYTES - 96:
+            raise StorageError(f"row of {n_bytes} bytes exceeds the page size")
+        if not self._pages or not self._pages[-1].has_room(n_bytes):
+            self._pages.append(Page(len(self._pages)))
+        page = self._pages[-1]
+        slot = page.insert(row, n_bytes)
+        self._live += 1
+        return RowId(page.page_id, slot)
+
+    def insert_many(self, rows: list[tuple[Any, ...]]) -> list[RowId]:
+        return [self.insert(row) for row in rows]
+
+    def get(self, rid: RowId) -> tuple[Any, ...] | None:
+        if not 0 <= rid.page < len(self._pages):
+            return None
+        return self._pages[rid.page].get(rid.slot)
+
+    def delete(self, rid: RowId) -> bool:
+        if not 0 <= rid.page < len(self._pages):
+            return False
+        if self._pages[rid.page].delete(rid.slot):
+            self._live -= 1
+            return True
+        return False
+
+    def update(self, rid: RowId, row: tuple[Any, ...]) -> bool:
+        if not 0 <= rid.page < len(self._pages):
+            return False
+        return self._pages[rid.page].update(rid.slot, row)
+
+    # ------------------------------------------------------------------ #
+    # Scans and accounting
+    # ------------------------------------------------------------------ #
+    def scan(self) -> Iterator[tuple[RowId, tuple[Any, ...]]]:
+        """All live rows in (page, slot) order."""
+        for page in self._pages:
+            for slot, row in page.live_rows():
+                yield RowId(page.page_id, slot), row
+
+    @property
+    def row_count(self) -> int:
+        return self._live
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def size_bytes(self) -> int:
+        """Uncompressed heap size (full pages, as allocated on disk)."""
+        return len(self._pages) * PAGE_SIZE_BYTES
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(page.used_bytes for page in self._pages)

@@ -1,0 +1,131 @@
+"""Table schemas: ordered, named, typed columns with nullability.
+
+A :class:`TableSchema` is immutable once constructed and is shared by the
+row store, the columnstore index, the planner and the SQL binder. Row
+validation (`coerce_row`) happens here so every ingestion path — bulk load,
+trickle insert, SQL INSERT — enforces identical rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from .errors import ConstraintError, SchemaError
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column: name, type and nullability."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+    def __str__(self) -> str:
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.dtype}{null}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered collection of :class:`ColumnDef` with unique names."""
+
+    columns: tuple[ColumnDef, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, columns: Iterable[ColumnDef]) -> None:
+        cols = tuple(columns)
+        if not cols:
+            raise SchemaError("a table must have at least one column")
+        index: dict[str, int] = {}
+        for position, col in enumerate(cols):
+            key = col.name.lower()
+            if key in index:
+                raise SchemaError(f"duplicate column name {col.name!r}")
+            index[key] = position
+        object.__setattr__(self, "columns", cols)
+        object.__setattr__(self, "_index", index)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnDef]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    @property
+    def names(self) -> list[str]:
+        return [col.name for col in self.columns]
+
+    def position(self, name: str) -> int:
+        """Ordinal of a column by (case-insensitive) name."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self.position(name)]
+
+    def dtype(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    # ------------------------------------------------------------------ #
+    # Row validation
+    # ------------------------------------------------------------------ #
+    def coerce_row(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        """Validate one row against the schema, returning physical values.
+
+        Raises :class:`SchemaError` on arity mismatch,
+        :class:`ConstraintError` on NULL in a NOT NULL column, and
+        :class:`TypeMismatchError` on bad values.
+        """
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values but table has {len(self.columns)} columns"
+            )
+        out = []
+        for value, col in zip(row, self.columns):
+            if value is None and not col.nullable:
+                raise ConstraintError(f"column {col.name!r} is NOT NULL")
+            out.append(col.dtype.coerce(value))
+        return tuple(out)
+
+    def coerce_rows(self, rows: Iterable[Sequence[Any]]) -> list[tuple[Any, ...]]:
+        """Validate many rows; convenience for loaders."""
+        return [self.coerce_row(row) for row in rows]
+
+    def project(self, names: Sequence[str]) -> "TableSchema":
+        """A new schema containing only the named columns, in the given order."""
+        return TableSchema([self.column(name) for name in names])
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(col) for col in self.columns) + ")"
+
+
+def schema(*specs: tuple[str, DataType] | tuple[str, DataType, bool] | ColumnDef) -> TableSchema:
+    """Build a :class:`TableSchema` from ``(name, dtype[, nullable])`` tuples.
+
+    >>> from repro import types
+    >>> schema(("id", types.INT, False), ("name", types.VARCHAR))
+    """
+    cols = []
+    for spec in specs:
+        if isinstance(spec, ColumnDef):
+            cols.append(spec)
+        elif len(spec) == 2:
+            cols.append(ColumnDef(spec[0], spec[1]))
+        else:
+            cols.append(ColumnDef(spec[0], spec[1], spec[2]))
+    return TableSchema(cols)

@@ -1,0 +1,13 @@
+"""SQL frontend: lexer, parser, binder and statement runner.
+
+Supports the analytic SQL subset the paper's workloads use: CREATE TABLE
+(with storage options), INSERT ... VALUES, bulk-friendly multi-row
+inserts, DELETE/UPDATE with predicates, and SELECT with inner/left joins,
+WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, CASE, BETWEEN, IN,
+LIKE and the scalar functions of :mod:`repro.exec.expressions`.
+"""
+
+from .parser import parse_statement
+from .runner import run_statement
+
+__all__ = ["parse_statement", "run_statement"]

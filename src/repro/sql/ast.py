@@ -1,0 +1,167 @@
+"""SQL abstract syntax trees (pre-binding)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# ---------------------------------------------------------------------- #
+# Expressions
+# ---------------------------------------------------------------------- #
+class SqlExpr:
+    """Base class of unbound SQL expressions."""
+
+
+@dataclass
+class EIdent(SqlExpr):
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass
+class ELiteral(SqlExpr):
+    value: Any  # int | float | str | bool | None
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass
+class EBinary(SqlExpr):
+    op: str  # arithmetic or comparison or and/or
+    left: SqlExpr
+    right: SqlExpr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class EUnary(SqlExpr):
+    op: str  # "not" | "-"
+    operand: SqlExpr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass
+class EFunc(SqlExpr):
+    name: str
+    args: list[SqlExpr]
+    star: bool = False  # COUNT(*)
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.star else ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass
+class ECase(SqlExpr):
+    branches: list[tuple[SqlExpr, SqlExpr]]
+    default: SqlExpr | None = None
+
+    def __str__(self) -> str:
+        return "CASE ..."
+
+
+@dataclass
+class EBetween(SqlExpr):
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+
+
+@dataclass
+class EIn(SqlExpr):
+    operand: SqlExpr
+    values: list[Any]
+    negated: bool = False
+
+
+@dataclass
+class ELike(SqlExpr):
+    operand: SqlExpr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass
+class EIsNull(SqlExpr):
+    operand: SqlExpr
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------- #
+# Statements
+# ---------------------------------------------------------------------- #
+@dataclass
+class SelectItem:
+    expr: SqlExpr
+    alias: str | None = None
+
+
+@dataclass
+class TableRef:
+    table: str
+    alias: str
+
+
+@dataclass
+class JoinClause:
+    table: TableRef
+    join_type: str  # inner | left
+    # Equi-join conditions: pairs of identifier expressions.
+    conditions: list[tuple[EIdent, EIdent]] = field(default_factory=list)
+
+
+@dataclass
+class SelectStatement:
+    items: list[SelectItem]
+    star: bool
+    from_table: TableRef | None
+    joins: list[JoinClause]
+    where: SqlExpr | None
+    group_by: list[SqlExpr]
+    having: SqlExpr | None
+    order_by: list[tuple[SqlExpr, bool]]  # (expr, descending)
+    limit: int | None
+    distinct: bool
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    columns: list[str] | None
+    rows: list[list[SqlExpr]]
+
+
+@dataclass
+class CreateTableStatement:
+    table: str
+    columns: list[tuple[str, str, list[int], bool]]  # (name, type, params, nullable)
+    storage: str | None  # columnstore | rowstore | both
+
+
+@dataclass
+class DropTableStatement:
+    table: str
+
+
+@dataclass
+class DeleteStatement:
+    table: str
+    where: SqlExpr | None
+
+
+@dataclass
+class UpdateStatement:
+    table: str
+    assignments: list[tuple[str, SqlExpr]]
+    where: SqlExpr | None

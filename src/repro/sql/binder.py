@@ -1,0 +1,683 @@
+"""Binding: SQL ASTs → logical plans over the catalog.
+
+Name resolution, implicit literal coercion (date strings and decimal
+literals become their physical representations), aggregate extraction and
+the single-namespace-per-stage discipline that keeps plan column names
+unique (multi-table queries qualify columns as ``alias.column``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import BindingError
+from ..exec import expressions as X
+from ..exec.operators.hash_aggregate import COUNT_STAR, AggregateSpec
+from ..planner.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from ..types import BIGINT, FLOAT, DataType, TypeKind
+from . import ast as A
+
+_AGG_FUNCS = {"count", "sum", "min", "max", "avg"}
+
+
+class _Namespace:
+    """A resolution scope: visible names, their plan columns and types."""
+
+    def __init__(self) -> None:
+        # (qualifier, column) -> plan name; qualifier None = unqualified.
+        self.qualified: dict[tuple[str, str], str] = {}
+        self.unqualified: dict[str, list[str]] = {}
+        self.dtypes: dict[str, DataType] = {}
+
+    def add(self, qualifier: str | None, column: str, plan_name: str, dtype: DataType) -> None:
+        if qualifier is not None:
+            self.qualified[(qualifier.lower(), column.lower())] = plan_name
+        self.unqualified.setdefault(column.lower(), []).append(plan_name)
+        self.dtypes[plan_name] = dtype
+
+    def resolve(self, ident: A.EIdent) -> str:
+        if ident.qualifier is not None:
+            key = (ident.qualifier.lower(), ident.name.lower())
+            plan_name = self.qualified.get(key)
+            if plan_name is None:
+                raise BindingError(f"unknown column {ident.qualifier}.{ident.name}")
+            return plan_name
+        candidates = self.unqualified.get(ident.name.lower(), [])
+        if not candidates:
+            raise BindingError(f"unknown column {ident.name!r}")
+        if len(set(candidates)) > 1:
+            raise BindingError(f"ambiguous column {ident.name!r}: {sorted(set(candidates))}")
+        return candidates[0]
+
+    def dtype_of(self, plan_name: str) -> DataType:
+        return self.dtypes[plan_name]
+
+
+class Binder:
+    """Binds one SELECT statement against a catalog."""
+
+    def __init__(self, catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ #
+    # SELECT
+    # ------------------------------------------------------------------ #
+    def bind_select(self, stmt: A.SelectStatement) -> LogicalNode:
+        if stmt.from_table is None:
+            raise BindingError("SELECT without FROM is not supported")
+        plan, namespace = self._bind_from(stmt)
+
+        if stmt.where is not None:
+            plan = LogicalFilter(plan, self._bind_scalar(stmt.where, namespace))
+
+        has_aggregates = self._contains_aggregate(stmt)
+        if has_aggregates or stmt.group_by:
+            base = namespace
+            plan, namespace, agg_lookup, group_lookup = self._bind_aggregate(
+                stmt, plan, namespace
+            )
+            plan = self._bind_outputs(
+                stmt, plan, namespace, agg_lookup, base=base, group_lookup=group_lookup
+            )
+        else:
+            self._reject_aggregates_in(stmt.having, "HAVING without GROUP BY")
+            plan = self._bind_outputs(stmt, plan, namespace, agg_lookup=None)
+
+        if stmt.distinct:
+            plan = LogicalAggregate(plan, list(plan.output_names()), [])
+        if stmt.order_by:
+            plan = self._bind_order_by(stmt, plan)
+        if stmt.limit is not None:
+            plan = LogicalLimit(plan, stmt.limit)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # FROM / JOIN
+    # ------------------------------------------------------------------ #
+    def _bind_from(self, stmt: A.SelectStatement) -> tuple[LogicalNode, _Namespace]:
+        refs = [stmt.from_table] + [j.table for j in stmt.joins]
+        aliases = [r.alias.lower() for r in refs]
+        if len(set(aliases)) != len(aliases):
+            raise BindingError(f"duplicate table aliases in FROM: {aliases}")
+        multi = len(refs) > 1
+
+        namespace = _Namespace()
+        alias_tables: dict[str, Any] = {}
+
+        def make_scan(ref: A.TableRef) -> LogicalScan:
+            table = self.catalog.table(ref.table)
+            alias_tables[ref.alias.lower()] = table
+            projections: dict[str, str] = {}
+            for col in table.schema:
+                plan_name = f"{ref.alias}.{col.name}" if multi else col.name
+                projections[plan_name] = col.name
+                namespace.add(ref.alias, col.name, plan_name, col.dtype)
+            return LogicalScan(table=table.name, projections=projections)
+
+        plan: LogicalNode = make_scan(stmt.from_table)
+        bound_aliases = {stmt.from_table.alias.lower()}
+        for join in stmt.joins:
+            right_scan = make_scan(join.table)
+            new_alias = join.table.alias.lower()
+            left_keys: list[str] = []
+            right_keys: list[str] = []
+            for a, b in join.conditions:
+                if a.qualifier is None or b.qualifier is None:
+                    raise BindingError(
+                        "join conditions must use qualified columns (alias.column)"
+                    )
+                sides = {a.qualifier.lower(): a, b.qualifier.lower(): b}
+                if new_alias not in sides:
+                    raise BindingError(
+                        f"join condition {a}={b} does not reference {join.table.alias}"
+                    )
+                new_side = sides.pop(new_alias)
+                other_alias, other_side = next(iter(sides.items()))
+                if other_alias not in bound_aliases:
+                    raise BindingError(
+                        f"join condition {a}={b} references unbound table {other_alias!r}"
+                    )
+                left_keys.append(namespace.resolve(other_side))
+                right_keys.append(namespace.resolve(new_side))
+            plan = LogicalJoin(
+                left=plan,
+                right=right_scan,
+                left_keys=left_keys,
+                right_keys=right_keys,
+                join_type=join.join_type,
+            )
+            bound_aliases.add(new_alias)
+        return plan, namespace
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def _contains_aggregate(self, stmt: A.SelectStatement) -> bool:
+        exprs = [item.expr for item in stmt.items]
+        if stmt.having is not None:
+            exprs.append(stmt.having)
+        return any(self._has_agg(e) for e in exprs)
+
+    def _has_agg(self, expr: A.SqlExpr) -> bool:
+        if isinstance(expr, A.EFunc) and expr.name in _AGG_FUNCS:
+            return True
+        for child in _ast_children(expr):
+            if self._has_agg(child):
+                return True
+        return False
+
+    def _reject_aggregates_in(self, expr: A.SqlExpr | None, context: str) -> None:
+        if expr is not None and self._has_agg(expr):
+            raise BindingError(f"aggregate not allowed here: {context}")
+
+    def _bind_aggregate(
+        self, stmt: A.SelectStatement, plan: LogicalNode, namespace: _Namespace
+    ) -> tuple[LogicalNode, _Namespace, dict[str, str], dict[str, str]]:
+        # Group keys: plain columns use their plan name; computed
+        # expressions (and select-alias references) are pre-projected.
+        alias_map = {
+            item.alias.lower(): item.expr
+            for item in stmt.items
+            if item.alias is not None
+        }
+        group_keys: list[str] = []
+        computed: list[tuple[str, X.Expr]] = []
+        group_ast_keys: dict[str, str] = {}  # canonical AST -> key name
+        for index, group_expr in enumerate(stmt.group_by):
+            if isinstance(group_expr, A.EIdent) and group_expr.qualifier is None:
+                alias_target = alias_map.get(group_expr.name.lower())
+                try:
+                    plan_name = namespace.resolve(group_expr)
+                except BindingError:
+                    if alias_target is None:
+                        raise
+                    # GROUP BY <select alias>: group by the aliased expression.
+                    group_expr = alias_target
+                else:
+                    group_keys.append(plan_name)
+                    group_ast_keys[_canonical(group_expr, namespace)] = plan_name
+                    continue
+            if isinstance(group_expr, A.EIdent):
+                plan_name = namespace.resolve(group_expr)
+                group_keys.append(plan_name)
+                group_ast_keys[_canonical(group_expr, namespace)] = plan_name
+            else:
+                bound = self._bind_scalar(group_expr, namespace)
+                name = f"__group_{index}"
+                computed.append((name, bound))
+                group_keys.append(name)
+                group_ast_keys[_canonical(group_expr, namespace)] = name
+        # Gather every aggregate call in SELECT/HAVING before deciding the
+        # aggregation layout (plain one-level vs two-level for DISTINCT).
+        calls: list[dict] = []
+        sources = [item.expr for item in stmt.items]
+        if stmt.having is not None:
+            sources.append(stmt.having)
+        for expr in sources:
+            self._collect_agg_calls(expr, namespace, calls)
+
+        distinct_calls = [c for c in calls if c["distinct"]]
+        specs: list[AggregateSpec] = []
+        agg_lookup: dict[str, str] = {}  # canonical call -> output name
+        distinct_projection: list[tuple[str, X.Expr]] = []
+
+        if distinct_calls:
+            plain = [c for c in calls if not c["distinct"]]
+            arg_keys = {c["arg_key"] for c in distinct_calls}
+            if plain or len(arg_keys) != 1:
+                raise BindingError(
+                    "DISTINCT aggregates must all share one argument and "
+                    "cannot mix with non-DISTINCT aggregates"
+                )
+            # Two-level plan: dedup on (group keys, arg), then aggregate
+            # the deduplicated values.
+            dname = "__distinct_0"
+            bound_arg = self._bind_scalar(distinct_calls[0]["arg_ast"], namespace)
+            distinct_projection.append((dname, bound_arg))
+            namespace.dtypes[dname] = bound_arg.infer_dtype(namespace.dtype_of)
+            taken: set[str] = set()
+            for call in distinct_calls:
+                name = _unique_name(f"{call['func']}", taken)
+                taken.add(name)
+                specs.append(AggregateSpec(call["func"], X.Column(dname), name))
+                agg_lookup[call["canonical"]] = name
+                for alias in call["aliases"]:
+                    agg_lookup[alias] = name
+        else:
+            taken = set()
+            for call in calls:
+                if call["canonical"] in agg_lookup:
+                    continue
+                if call["func"] == COUNT_STAR:
+                    name = _unique_name("count", taken)
+                    specs.append(AggregateSpec(COUNT_STAR, None, name))
+                else:
+                    bound = self._bind_scalar(call["arg_ast"], namespace)
+                    name = _unique_name(call["func"], taken)
+                    specs.append(AggregateSpec(call["func"], bound, name))
+                taken.add(name)
+                agg_lookup[call["canonical"]] = name
+                for alias in call["aliases"]:
+                    agg_lookup[alias] = name
+
+        if computed or distinct_projection:
+            passthrough = [
+                (name, X.Column(name)) for name in plan.output_names()
+            ]
+            plan = LogicalProject(plan, passthrough + computed + distinct_projection)
+            for name, bound in computed:
+                namespace.dtypes[name] = bound.infer_dtype(namespace.dtype_of)
+
+        if distinct_calls:
+            dname = distinct_projection[0][0]
+            dedup = LogicalAggregate(plan, [*group_keys, dname], [])
+            plan = LogicalAggregate(dedup, group_keys, specs)
+        else:
+            plan = LogicalAggregate(plan, group_keys, specs)
+
+        post = _Namespace()
+        for key in group_keys:
+            post.add(None, key, key, namespace.dtype_of(key))
+            # Keep qualified resolution working for group keys like "c.region".
+            if "." in key:
+                qualifier, column = key.split(".", 1)
+                post.qualified[(qualifier.lower(), column.lower())] = key
+                post.unqualified.setdefault(column.lower(), []).append(key)
+        for spec in specs:
+            post.add(None, spec.name, spec.name, _agg_dtype(spec, namespace))
+
+        if stmt.having is not None:
+            having = self._bind_scalar(
+                stmt.having,
+                post,
+                agg_lookup=agg_lookup,
+                base=namespace,
+                group_lookup=group_ast_keys,
+            )
+            plan = LogicalFilter(plan, having)
+        return plan, post, agg_lookup, group_ast_keys
+
+    def _collect_agg_calls(
+        self,
+        expr: A.SqlExpr,
+        namespace: _Namespace,
+        calls: list[dict],
+    ) -> None:
+        """Record every aggregate call (func, arg AST, DISTINCT flag)."""
+        if isinstance(expr, A.EFunc) and expr.name in _AGG_FUNCS:
+            canonical = _canonical(expr, namespace)
+            if any(c["canonical"] == canonical for c in calls):
+                return
+            if expr.star:
+                calls.append(
+                    {
+                        "canonical": canonical,
+                        "func": COUNT_STAR,
+                        "arg_ast": None,
+                        "arg_key": "*",
+                        "distinct": False,
+                        "aliases": [],
+                    }
+                )
+                return
+            if len(expr.args) != 1:
+                raise BindingError(f"{expr.name} takes exactly one argument")
+            self._reject_aggregates_in(expr.args[0], "nested aggregate")
+            aliases: list[str] = []
+            if expr.distinct and expr.name in ("min", "max"):
+                # DISTINCT is a no-op for MIN/MAX; normalize but keep the
+                # original canonical as an alias so select items using
+                # the DISTINCT spelling still resolve.
+                aliases.append(canonical)
+                expr = A.EFunc(expr.name, expr.args, distinct=False)
+                canonical = _canonical(expr, namespace)
+                if any(c["canonical"] == canonical for c in calls):
+                    for call in calls:
+                        if call["canonical"] == canonical:
+                            call["aliases"].extend(aliases)
+                    return
+            calls.append(
+                {
+                    "canonical": canonical,
+                    "func": expr.name,
+                    "arg_ast": expr.args[0],
+                    "arg_key": _canonical(expr.args[0], namespace),
+                    "distinct": expr.distinct,
+                    "aliases": aliases,
+                }
+            )
+            return
+        for child in _ast_children(expr):
+            self._collect_agg_calls(child, namespace, calls)
+
+    # ------------------------------------------------------------------ #
+    # Output projection, ORDER BY
+    # ------------------------------------------------------------------ #
+    def _bind_outputs(
+        self,
+        stmt: A.SelectStatement,
+        plan: LogicalNode,
+        namespace: _Namespace,
+        agg_lookup: dict[str, str] | None,
+        base: _Namespace | None = None,
+        group_lookup: dict[str, str] | None = None,
+    ) -> LogicalNode:
+        if stmt.star:
+            if agg_lookup is not None:
+                raise BindingError("SELECT * cannot be combined with GROUP BY")
+            projections = [(name, X.Column(name)) for name in plan.output_names()]
+            labels = [name.split(".")[-1] for name, _ in projections]
+            labels = _dedupe(labels)
+            return LogicalProject(plan, [(label, expr) for label, (_, expr) in zip(labels, projections)])
+
+        projections: list[tuple[str, X.Expr]] = []
+        labels: list[str] = []
+        for index, item in enumerate(stmt.items):
+            bound = self._bind_scalar(
+                item.expr,
+                namespace,
+                agg_lookup=agg_lookup,
+                base=base,
+                group_lookup=group_lookup,
+            )
+            if item.alias:
+                label = item.alias
+            elif isinstance(item.expr, A.EIdent):
+                label = item.expr.name
+            elif isinstance(item.expr, A.EFunc):
+                label = item.expr.name
+            else:
+                label = f"col{index}"
+            labels.append(label)
+            projections.append((label, bound))
+            # In aggregate queries, bare columns must be group keys; the
+            # namespace only holds keys and agg outputs so resolution
+            # itself enforces this.
+        labels = _dedupe(labels)
+        return LogicalProject(plan, [(label, expr) for label, (_, expr) in zip(labels, projections)])
+
+    def _bind_order_by(self, stmt: A.SelectStatement, plan: LogicalNode) -> LogicalNode:
+        outputs = plan.output_names()
+        keys: list[tuple[str, bool]] = []
+        for expr, descending in stmt.order_by:
+            if isinstance(expr, A.ELiteral) and isinstance(expr.value, int):
+                position = expr.value
+                if not 1 <= position <= len(outputs):
+                    raise BindingError(f"ORDER BY position {position} out of range")
+                keys.append((outputs[position - 1], descending))
+            elif isinstance(expr, A.EIdent):
+                # Output labels are unqualified, so "ORDER BY c.region"
+                # matches the output labelled "region".
+                matches = [name for name in outputs if name.lower() == expr.name.lower()]
+                if not matches:
+                    raise BindingError(
+                        f"ORDER BY column {expr.name!r} is not in the select list"
+                    )
+                keys.append((matches[0], descending))
+            elif isinstance(expr, A.EFunc):
+                raise BindingError(
+                    "ORDER BY expressions must appear in the select list; "
+                    "alias the aggregate and order by the alias"
+                )
+            else:
+                raise BindingError("unsupported ORDER BY expression")
+        return LogicalSort(plan, keys)
+
+    # ------------------------------------------------------------------ #
+    # Scalar expression binding
+    # ------------------------------------------------------------------ #
+    def _bind_scalar(
+        self,
+        expr: A.SqlExpr,
+        namespace: _Namespace,
+        agg_lookup: dict[str, str] | None = None,
+        base: _Namespace | None = None,
+        group_lookup: dict[str, str] | None = None,
+    ) -> X.Expr:
+        """Bind a scalar expression in ``namespace``.
+
+        With ``agg_lookup`` set (post-aggregate contexts), aggregate calls
+        resolve to their output columns; ``base`` is the pre-aggregate
+        namespace used to canonicalize those calls; ``group_lookup`` maps
+        canonical grouping expressions to their key columns so select
+        items can repeat a computed GROUP BY expression.
+        """
+        canon_ns = base if base is not None else namespace
+
+        def bind(node: A.SqlExpr) -> X.Expr:
+            if group_lookup is not None:
+                key_name = group_lookup.get(_canonical(node, canon_ns))
+                if key_name is not None:
+                    return X.Column(key_name)
+            if agg_lookup is not None and isinstance(node, A.EFunc) and node.name in _AGG_FUNCS:
+                key = _canonical(node, canon_ns)
+                name = agg_lookup.get(key)
+                if name is None:
+                    raise BindingError(f"aggregate {node} was not collected")
+                return X.Column(name)
+            if isinstance(node, A.EIdent):
+                return X.Column(namespace.resolve(node))
+            if isinstance(node, A.ELiteral):
+                return X.Literal(node.value)
+            if isinstance(node, A.EBinary):
+                return self._bind_binary(node, bind, namespace)
+            if isinstance(node, A.EUnary):
+                if node.op == "not":
+                    return X.Not(bind(node.operand))
+                raise BindingError(f"unsupported unary operator {node.op!r}")
+            if isinstance(node, A.EFunc):
+                if node.name in _AGG_FUNCS:
+                    raise BindingError(f"aggregate {node.name} is not allowed here")
+                try:
+                    return X.FunctionCall(node.name, *[bind(a) for a in node.args])
+                except X.ExecutionError as exc:
+                    raise BindingError(str(exc)) from exc
+            if isinstance(node, A.ECase):
+                branches = [(bind(c), bind(v)) for c, v in node.branches]
+                default = bind(node.default) if node.default is not None else None
+                return X.Case(branches, default)
+            if isinstance(node, A.EBetween):
+                bound = X.Between(
+                    bind(node.operand),
+                    self._coerced(bind(node.operand), bind(node.low), namespace),
+                    self._coerced(bind(node.operand), bind(node.high), namespace),
+                )
+                return X.Not(bound) if node.negated else bound
+            if isinstance(node, A.EIn):
+                operand = bind(node.operand)
+                values = [self._coerce_value(operand, v, namespace) for v in node.values]
+                bound = X.InList(operand, values)
+                return X.Not(bound) if node.negated else bound
+            if isinstance(node, A.ELike):
+                return X.Like(bind(node.operand), node.pattern, node.negated)
+            if isinstance(node, A.EIsNull):
+                return X.IsNull(bind(node.operand), node.negated)
+            raise BindingError(f"unsupported expression {type(node).__name__}")
+
+        return bind(expr)
+
+    def _bind_binary(self, node: A.EBinary, bind, namespace: _Namespace) -> X.Expr:
+        if node.op == "and":
+            return X.And(bind(node.left), bind(node.right))
+        if node.op == "or":
+            return X.Or(bind(node.left), bind(node.right))
+        left = bind(node.left)
+        right = bind(node.right)
+        if node.op in ("=", "!=", "<", "<=", ">", ">="):
+            left2, right2 = self._coerce_pair(left, right, namespace)
+            return X.Comparison(node.op, left2, right2)
+        if node.op in ("+", "-"):
+            left2, right2 = self._coerce_pair(left, right, namespace)
+            # Mixed-scale decimal addition descales to float; same-scale
+            # stays exact in the scaled-integer representation.
+            ld = self._dtype_of(left2, namespace)
+            rd = self._dtype_of(right2, namespace)
+            if _is_scaled(ld) or _is_scaled(rd):
+                if not (ld == rd):
+                    left2 = self._descale(left2, ld)
+                    right2 = self._descale(right2, rd)
+            return X.Arithmetic(node.op, left2, right2)
+        if node.op in ("*", "/", "%"):
+            # Scaled decimals entering multiplicative arithmetic are
+            # descaled to floats so values (not scaled ints) combine.
+            left = self._descale(left, self._dtype_of(left, namespace))
+            right = self._descale(right, self._dtype_of(right, namespace))
+            return X.Arithmetic(node.op, left, right)
+        raise BindingError(f"unsupported operator {node.op!r}")
+
+    def _descale(self, expr: X.Expr, dtype: DataType | None) -> X.Expr:
+        """Convert a scaled-decimal expression to its float value."""
+        if not _is_scaled(dtype):
+            return expr
+        return X.Arithmetic("/", expr, X.Literal(float(10**dtype.scale)))
+
+    # Implicit coercion: date strings and decimal literals become physical.
+    def _coerce_pair(
+        self, left: X.Expr, right: X.Expr, namespace: _Namespace
+    ) -> tuple[X.Expr, X.Expr]:
+        if isinstance(right, X.Literal) and not isinstance(left, X.Literal):
+            return left, self._coerced(left, right, namespace)
+        if isinstance(left, X.Literal) and not isinstance(right, X.Literal):
+            return self._coerced(right, left, namespace), right
+        return left, right
+
+    def _coerced(self, target: X.Expr, literal: X.Expr, namespace: _Namespace) -> X.Expr:
+        if not isinstance(literal, X.Literal) or literal.value is None:
+            return literal
+        dtype = self._dtype_of(target, namespace)
+        if dtype is None:
+            return literal
+        if dtype.kind in (TypeKind.DATE, TypeKind.DECIMAL):
+            try:
+                return X.Literal(dtype.coerce(literal.value), dtype)
+            except Exception as exc:  # keep the binder error domain
+                raise BindingError(
+                    f"cannot coerce literal {literal.value!r} to {dtype}: {exc}"
+                ) from exc
+        return literal
+
+    def _coerce_value(self, target: X.Expr, value: Any, namespace: _Namespace) -> Any:
+        if value is None:
+            return None
+        dtype = self._dtype_of(target, namespace)
+        if dtype is not None and dtype.kind in (TypeKind.DATE, TypeKind.DECIMAL):
+            return dtype.coerce(value)
+        return value
+
+    def _dtype_of(self, expr: X.Expr, namespace: _Namespace) -> DataType | None:
+        try:
+            return expr.infer_dtype(namespace.dtype_of)
+        except Exception:
+            return None
+
+
+# ---------------------------------------------------------------------- #
+# Helpers
+# ---------------------------------------------------------------------- #
+def _ast_children(expr: A.SqlExpr) -> list[A.SqlExpr]:
+    if isinstance(expr, A.EBinary):
+        return [expr.left, expr.right]
+    if isinstance(expr, A.EUnary):
+        return [expr.operand]
+    if isinstance(expr, A.EFunc):
+        return list(expr.args)
+    if isinstance(expr, A.ECase):
+        out: list[A.SqlExpr] = []
+        for c, v in expr.branches:
+            out.extend((c, v))
+        if expr.default is not None:
+            out.append(expr.default)
+        return out
+    if isinstance(expr, (A.EBetween,)):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, (A.EIn, A.ELike, A.EIsNull)):
+        return [expr.operand]
+    return []
+
+
+def _canonical(expr: A.SqlExpr, namespace: _Namespace) -> str:
+    """A resolution-aware canonical string for matching repeated ASTs."""
+    if isinstance(expr, A.EIdent):
+        try:
+            return f"col:{namespace.resolve(expr)}"
+        except BindingError:
+            return f"ident:{expr.qualifier}.{expr.name}"
+    if isinstance(expr, A.ELiteral):
+        return f"lit:{expr.value!r}"
+    if isinstance(expr, A.EFunc):
+        inner = ",".join(_canonical(a, namespace) for a in expr.args)
+        star = "*" if expr.star else inner
+        distinct = "D:" if expr.distinct else ""
+        return f"fn:{expr.name}({distinct}{star})"
+    if isinstance(expr, A.EBinary):
+        return f"({_canonical(expr.left, namespace)}{expr.op}{_canonical(expr.right, namespace)})"
+    if isinstance(expr, A.EUnary):
+        return f"{expr.op}({_canonical(expr.operand, namespace)})"
+    if isinstance(expr, A.EBetween):
+        return (
+            f"between({_canonical(expr.operand, namespace)},"
+            f"{_canonical(expr.low, namespace)},{_canonical(expr.high, namespace)},{expr.negated})"
+        )
+    if isinstance(expr, A.EIn):
+        return f"in({_canonical(expr.operand, namespace)},{expr.values!r},{expr.negated})"
+    if isinstance(expr, A.ELike):
+        return f"like({_canonical(expr.operand, namespace)},{expr.pattern!r},{expr.negated})"
+    if isinstance(expr, A.EIsNull):
+        return f"isnull({_canonical(expr.operand, namespace)},{expr.negated})"
+    if isinstance(expr, A.ECase):
+        parts = [
+            f"{_canonical(c, namespace)}:{_canonical(v, namespace)}"
+            for c, v in expr.branches
+        ]
+        if expr.default is not None:
+            parts.append(_canonical(expr.default, namespace))
+        return "case(" + ";".join(parts) + ")"
+    return repr(expr)
+
+
+def _unique_name(base: str, taken: set[str]) -> str:
+    if base not in taken:
+        return base
+    index = 2
+    while f"{base}_{index}" in taken:
+        index += 1
+    return f"{base}_{index}"
+
+
+def _dedupe(labels: list[str]) -> list[str]:
+    seen: dict[str, int] = {}
+    out = []
+    for label in labels:
+        if label in seen:
+            seen[label] += 1
+            out.append(f"{label}_{seen[label]}")
+        else:
+            seen[label] = 1
+            out.append(label)
+    return out
+
+
+def _agg_dtype(spec: AggregateSpec, namespace: _Namespace) -> DataType:
+    if spec.func in (COUNT_STAR, "count"):
+        return BIGINT
+    arg = spec.expr.infer_dtype(namespace.dtype_of)
+    if spec.func in ("min", "max"):
+        return arg
+    if spec.func == "sum":
+        return BIGINT if arg.kind is TypeKind.INT else arg
+    if arg.kind is TypeKind.DECIMAL:
+        return arg
+    return FLOAT
+
+
+def _is_scaled(dtype: DataType | None) -> bool:
+    return dtype is not None and dtype.kind is TypeKind.DECIMAL and dtype.scale > 0

@@ -1,0 +1,113 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "as", "and", "or", "not", "in", "like", "between", "is", "null",
+    "join", "inner", "left", "right", "full", "outer", "on", "case",
+    "when", "then",
+    "else", "end", "distinct", "insert", "into", "values", "create",
+    "table", "drop", "delete", "update", "set", "using", "asc", "desc",
+    "true", "false", "exists",
+}
+
+# Multi-character operators first so they win over single-char prefixes.
+OPERATORS = ["<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%",
+             "(", ")", ",", ".", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword | ident | number | string | op | eof
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql[i : i + 2] == "--":
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token("string", text, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            while i < n and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            if i < n and sql[i] in "eE":
+                i += 1
+                if i < n and sql[i] in "+-":
+                    i += 1
+                while i < n and sql[i].isdigit():
+                    i += 1
+            tokens.append(Token("number", sql[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_" or ch == '"':
+            if ch == '"':
+                end = sql.find('"', i + 1)
+                if end == -1:
+                    raise SqlSyntaxError("unterminated quoted identifier", i)
+                tokens.append(Token("ident", sql[i + 1 : end], i))
+                i = end + 1
+                continue
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            lower = word.lower()
+            if lower in KEYWORDS:
+                tokens.append(Token("keyword", lower, start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+        matched = False
+        for op in OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token("op", "!=" if op == "<>" else op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' as the escape for a quote."""
+    out = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start)

@@ -1,0 +1,153 @@
+"""Statement execution: dispatches parsed SQL against a Database."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import BindingError, SqlSyntaxError
+from ..exec import expressions as X
+from ..planner.logical import LogicalNode
+from ..schema import ColumnDef, TableSchema
+from ..types import BIGINT, BOOL, DATE, FLOAT, INT, VARCHAR, DataType, decimal, varchar
+from . import ast as A
+from .binder import Binder, _Namespace
+from .parser import parse_statement
+
+_TYPE_CONSTRUCTORS = {
+    "int": lambda params: INT,
+    "integer": lambda params: INT,
+    "bigint": lambda params: BIGINT,
+    "float": lambda params: FLOAT,
+    "double": lambda params: FLOAT,
+    "real": lambda params: FLOAT,
+    "date": lambda params: DATE,
+    "bool": lambda params: BOOL,
+    "boolean": lambda params: BOOL,
+    "varchar": lambda params: varchar(params[0]) if params else VARCHAR,
+    "text": lambda params: VARCHAR,
+    "string": lambda params: VARCHAR,
+    "decimal": lambda params: decimal(params[1] if len(params) > 1 else 0),
+    "numeric": lambda params: decimal(params[1] if len(params) > 1 else 0),
+}
+
+
+def run_statement(db, sql: str, **options: Any):
+    """Parse and execute one SQL statement against ``db``.
+
+    Queries return a Result; DML returns a Result with a single
+    ``rows_affected`` value; DDL returns None.
+    """
+    statement = parse_statement(sql)
+    if isinstance(statement, A.SelectStatement):
+        plan = Binder(db.catalog).bind_select(statement)
+        return db.execute(plan, **options)
+    if isinstance(statement, A.CreateTableStatement):
+        _run_create_table(db, statement)
+        return None
+    if isinstance(statement, A.DropTableStatement):
+        db.drop_table(statement.table)
+        return None
+    if isinstance(statement, A.InsertStatement):
+        return _affected(db, _run_insert(db, statement))
+    if isinstance(statement, A.DeleteStatement):
+        predicate = _bind_table_predicate(db, statement.table, statement.where)
+        return _affected(db, db.delete_where(statement.table, predicate))
+    if isinstance(statement, A.UpdateStatement):
+        return _run_update(db, statement)
+    raise SqlSyntaxError(f"unsupported statement {type(statement).__name__}")
+
+
+def plan_query(db, sql: str) -> LogicalNode:
+    """Parse + bind a SELECT for EXPLAIN."""
+    statement = parse_statement(sql)
+    if not isinstance(statement, A.SelectStatement):
+        raise SqlSyntaxError("EXPLAIN expects a SELECT statement")
+    return Binder(db.catalog).bind_select(statement)
+
+
+def _affected(db, count: int):
+    from ..db.database import Result
+
+    return Result(columns=["rows_affected"], dtypes=[BIGINT], rows=[(count,)])
+
+
+def _run_create_table(db, statement: A.CreateTableStatement) -> None:
+    columns = []
+    for name, type_name, params, nullable in statement.columns:
+        constructor = _TYPE_CONSTRUCTORS.get(type_name)
+        if constructor is None:
+            raise SqlSyntaxError(f"unknown type {type_name!r}")
+        columns.append(ColumnDef(name, constructor(params), nullable))
+    storage = statement.storage or "columnstore"
+    db.create_table(statement.table, TableSchema(columns), storage=storage)
+
+
+def _run_insert(db, statement: A.InsertStatement) -> int:
+    table = db.table(statement.table)
+    schema = table.schema
+    if statement.columns is None:
+        positions = list(range(len(schema)))
+    else:
+        positions = [schema.position(c) for c in statement.columns]
+    rows = []
+    for value_exprs in statement.rows:
+        if len(value_exprs) != len(positions):
+            raise BindingError(
+                f"INSERT row has {len(value_exprs)} values for {len(positions)} columns"
+            )
+        row: list[Any] = [None] * len(schema)
+        for position, expr in zip(positions, value_exprs):
+            row[position] = _constant_value(expr)
+        rows.append(tuple(row))
+    return db.insert(statement.table, rows)
+
+
+def _constant_value(expr: A.SqlExpr) -> Any:
+    """Evaluate a constant VALUES expression (literals and arithmetic)."""
+    if isinstance(expr, A.ELiteral):
+        return expr.value
+    if isinstance(expr, A.EBinary) and expr.op in ("+", "-", "*", "/", "%"):
+        bound = X.Arithmetic(
+            expr.op,
+            X.Literal(_constant_value(expr.left)),
+            X.Literal(_constant_value(expr.right)),
+        )
+        return bound.eval_row({})
+    raise BindingError(f"INSERT values must be constants, got {expr}")
+
+
+def _table_namespace(db, table_name: str) -> _Namespace:
+    table = db.table(table_name)
+    namespace = _Namespace()
+    for col in table.schema:
+        namespace.add(table.name, col.name, col.name, col.dtype)
+    return namespace
+
+
+def _bind_table_predicate(db, table_name: str, where: A.SqlExpr | None):
+    if where is None:
+        return None
+    binder = Binder(db.catalog)
+    return binder._bind_scalar(where, _table_namespace(db, table_name))
+
+
+def _run_update(db, statement: A.UpdateStatement):
+    binder = Binder(db.catalog)
+    namespace = _table_namespace(db, statement.table)
+    table = db.table(statement.table)
+    assignments: dict[str, X.Expr] = {}
+    for column, expr in statement.assignments:
+        dtype: DataType = table.schema.dtype(column)
+        if isinstance(expr, A.ELiteral):
+            # Literals coerce to the target column's physical form.
+            assignments[column] = X.Literal(
+                dtype.coerce(expr.value) if expr.value is not None else None, dtype
+            )
+        else:
+            assignments[column] = binder._bind_scalar(expr, namespace)
+    predicate = (
+        binder._bind_scalar(statement.where, namespace)
+        if statement.where is not None
+        else None
+    )
+    return _affected(db, db.update_where(statement.table, assignments, predicate))

@@ -1,0 +1,96 @@
+"""In-memory cache of decoded column segments.
+
+SQL Server caches decompressed column segments in memory (the large-
+object cache), so hot segments pay decompression once. This LRU holds
+decoded ``(values, null_mask)`` pairs keyed by the segment object's
+identity — row groups are immutable, and every mutation path (tuple
+mover, REBUILD, archive toggle) swaps in *new* segment objects, so stale
+entries can never be served; they simply age out.
+
+Off by default (``StoreConfig.segment_cache_bytes = 0``): several
+benchmarks measure decompression cost on purpose.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .segment import ColumnSegment
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _decoded_bytes(values: np.ndarray, null_mask: np.ndarray | None) -> int:
+    if values.dtype == object:
+        size = sum(
+            len(v) + 50 for v in values.tolist() if isinstance(v, str)
+        ) + values.shape[0] * 8
+    else:
+        size = values.nbytes
+    if null_mask is not None:
+        size += null_mask.nbytes
+    return size
+
+
+class SegmentCache:
+    """LRU over decoded segments, bounded by (approximate) decoded bytes."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        self.capacity_bytes = capacity_bytes
+        self.stats = CacheStats()
+        self._entries: OrderedDict[int, tuple[np.ndarray, np.ndarray | None, int]] = (
+            OrderedDict()
+        )
+        self._used_bytes = 0
+        # Keep decoded segments' owners alive so id() keys stay unique.
+        self._pins: dict[int, ColumnSegment] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def decode(self, segment: ColumnSegment) -> tuple[np.ndarray, np.ndarray | None]:
+        """Decoded (values, null_mask) for a segment, cached."""
+        key = id(segment)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0], entry[1]
+        self.stats.misses += 1
+        values, null_mask = segment.decode()
+        size = _decoded_bytes(values, null_mask)
+        if size <= self.capacity_bytes:
+            self._entries[key] = (values, null_mask, size)
+            self._pins[key] = segment
+            self._used_bytes += size
+            self._evict()
+        return values, null_mask
+
+    def _evict(self) -> None:
+        while self._used_bytes > self.capacity_bytes and self._entries:
+            key, (_values, _mask, size) = self._entries.popitem(last=False)
+            self._pins.pop(key, None)
+            self._used_bytes -= size
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._pins.clear()
+        self._used_bytes = 0

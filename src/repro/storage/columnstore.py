@@ -1,0 +1,294 @@
+"""The updatable columnstore index.
+
+Combines every storage structure of the paper into one object:
+
+* compressed **row groups** catalogued by a :class:`SegmentDirectory`,
+* **delta stores** (B-tree row stores) absorbing trickle inserts,
+* a **delete bitmap** marking deleted rows of compressed row groups,
+* the **bulk loader** that turns large inserts straight into row groups.
+
+Rows are addressed by :class:`RowLocator`: compressed rows by (row-group
+id, position), delta rows by (delta-store id, row id). UPDATE is modelled
+the way the paper does: delete + insert (see :meth:`ColumnStoreIndex.update`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import StorageError
+from ..schema import TableSchema
+from .config import StoreConfig
+from .delete_bitmap import DeleteBitmap
+from .deltastore import DeltaStore
+from .directory import SegmentDirectory
+from .loader import BulkLoader, rows_to_columns
+from .rowgroup import RowGroup
+
+GROUP = "group"
+DELTA = "delta"
+
+
+@dataclass(frozen=True)
+class RowLocator:
+    """A stable address of one live row inside the index."""
+
+    kind: str  # GROUP or DELTA
+    container_id: int  # row-group id or delta-store id
+    position: int  # position within the row group, or delta row id
+
+
+@dataclass
+class ScanUnit:
+    """One scannable unit handed to the execution engine.
+
+    Either a compressed row group (with its current deleted-row mask) or a
+    delta store. The executor turns each into column batches.
+    """
+
+    kind: str
+    group: RowGroup | None = None
+    deleted_mask: np.ndarray | None = None
+    delta: DeltaStore | None = None
+
+    @property
+    def container_id(self) -> int:
+        if self.kind == GROUP:
+            assert self.group is not None
+            return self.group.group_id
+        assert self.delta is not None
+        return self.delta.delta_id
+
+
+class ColumnStoreIndex:
+    """An updatable columnstore index over one table's rows."""
+
+    def __init__(self, schema: TableSchema, config: StoreConfig | None = None) -> None:
+        self.schema = schema
+        self.config = config or StoreConfig()
+        self.directory = SegmentDirectory(schema)
+        self.loader = BulkLoader(schema, self.directory, self.config)
+        self.delete_bitmap = DeleteBitmap()
+        self.segment_cache = None
+        if self.config.segment_cache_bytes > 0:
+            from .cache import SegmentCache
+
+            self.segment_cache = SegmentCache(self.config.segment_cache_bytes)
+        self._delta_stores: dict[int, DeltaStore] = {}
+        self._open_delta_id: int | None = None
+        self._next_delta_id = 0
+        self._next_row_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Inserts
+    # ------------------------------------------------------------------ #
+    def _open_delta(self) -> DeltaStore:
+        if self._open_delta_id is not None:
+            return self._delta_stores[self._open_delta_id]
+        delta = DeltaStore(self._next_delta_id, self.schema, self.config.btree_order)
+        self._delta_stores[delta.delta_id] = delta
+        self._open_delta_id = delta.delta_id
+        self._next_delta_id += 1
+        return delta
+
+    def insert(self, row: tuple[Any, ...]) -> RowLocator:
+        """Trickle-insert one physical row into the open delta store."""
+        delta = self._open_delta()
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        delta.insert(row_id, tuple(row))
+        if delta.row_count >= self.config.effective_delta_close_rows:
+            delta.close()
+            self._open_delta_id = None
+        return RowLocator(DELTA, delta.delta_id, row_id)
+
+    def insert_many(self, rows: Iterable[tuple[Any, ...]]) -> list[RowLocator]:
+        return [self.insert(row) for row in rows]
+
+    def bulk_load(self, rows: Sequence[tuple[Any, ...]]) -> None:
+        """Insert many rows at once.
+
+        At or above the bulk-load threshold the rows are compressed directly
+        into row groups (the paper's bulk-insert path); below it they fall
+        back to trickle inserts into the delta store.
+        """
+        if len(rows) >= self.config.bulk_load_threshold:
+            self.loader.load_rows(rows)
+        else:
+            self.insert_many(rows)
+
+    def bulk_load_columns(
+        self,
+        columns: dict[str, np.ndarray],
+        null_masks: dict[str, np.ndarray | None] | None = None,
+    ) -> None:
+        """Columnar bulk load (always takes the direct-compress path)."""
+        self.loader.load_columns(columns, null_masks)
+
+    # ------------------------------------------------------------------ #
+    # Deletes and updates
+    # ------------------------------------------------------------------ #
+    def delete(self, locator: RowLocator) -> bool:
+        """Delete one row; returns ``False`` if it was already gone."""
+        if locator.kind == GROUP:
+            group = self.directory.row_group(locator.container_id)
+            if not 0 <= locator.position < group.row_count:
+                raise StorageError(
+                    f"position {locator.position} out of range for row group "
+                    f"{locator.container_id}"
+                )
+            return self.delete_bitmap.mark(locator.container_id, locator.position)
+        delta = self._delta_stores.get(locator.container_id)
+        if delta is None:
+            raise StorageError(f"unknown delta store {locator.container_id}")
+        return delta.delete(locator.position)
+
+    def delete_many(self, locators: Iterable[RowLocator]) -> int:
+        return sum(1 for locator in locators if self.delete(locator))
+
+    def update(self, locator: RowLocator, new_row: tuple[Any, ...]) -> RowLocator:
+        """UPDATE = DELETE + INSERT, as in the paper."""
+        if not self.delete(locator):
+            raise StorageError(f"row {locator} is already deleted")
+        return self.insert(new_row)
+
+    def get_row(self, locator: RowLocator) -> tuple[Any, ...] | None:
+        """Fetch one live row by locator (None if deleted/absent)."""
+        if locator.kind == DELTA:
+            delta = self._delta_stores.get(locator.container_id)
+            return delta.get(locator.position) if delta is not None else None
+        if self.delete_bitmap.is_deleted(locator.container_id, locator.position):
+            return None
+        group = self.directory.row_group(locator.container_id)
+        row = []
+        for col in self.schema:
+            values, mask = group.decode_column(col.name)
+            if mask is not None and mask[locator.position]:
+                row.append(None)
+            else:
+                value = values[locator.position]
+                row.append(value.item() if hasattr(value, "item") else value)
+        return tuple(row)
+
+    # ------------------------------------------------------------------ #
+    # Scan interface
+    # ------------------------------------------------------------------ #
+    def decode_segment(self, group: RowGroup, column: str):
+        """Decode one segment, through the decode cache when enabled."""
+        segment = group.segment(column)
+        if self.segment_cache is not None:
+            return self.segment_cache.decode(segment)
+        return segment.decode()
+
+    def scan_units(self) -> Iterator[ScanUnit]:
+        """All scannable units: compressed groups first, then delta stores."""
+        for group in self.directory.row_groups():
+            yield ScanUnit(
+                kind=GROUP,
+                group=group,
+                deleted_mask=self.delete_bitmap.mask_for(group.group_id, group.row_count),
+            )
+        for delta_id in sorted(self._delta_stores):
+            delta = self._delta_stores[delta_id]
+            if delta.row_count:
+                yield ScanUnit(kind=DELTA, delta=delta)
+
+    def delta_stores(self) -> list[DeltaStore]:
+        return [self._delta_stores[k] for k in sorted(self._delta_stores)]
+
+    def closed_delta_stores(self) -> list[DeltaStore]:
+        return [d for d in self.delta_stores() if not d.is_open and d.row_count]
+
+    def remove_delta_store(self, delta_id: int) -> None:
+        if delta_id == self._open_delta_id:
+            self._open_delta_id = None
+        self._delta_stores.pop(delta_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def compressed_rows(self) -> int:
+        return self.directory.total_rows
+
+    @property
+    def delta_rows(self) -> int:
+        return sum(d.row_count for d in self._delta_stores.values())
+
+    @property
+    def live_rows(self) -> int:
+        return self.compressed_rows - self.delete_bitmap.total_deleted + self.delta_rows
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            self.directory.encoded_size_bytes
+            + sum(d.size_bytes for d in self._delta_stores.values())
+            + self.delete_bitmap.size_bytes
+        )
+
+    @property
+    def fraction_in_delta(self) -> float:
+        live = self.live_rows
+        return self.delta_rows / live if live else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def close_open_delta(self) -> None:
+        """Force-close the open delta store (e.g. before a tuple-mover run)."""
+        if self._open_delta_id is not None:
+            self._delta_stores[self._open_delta_id].close()
+            self._open_delta_id = None
+
+    def rebuild(self) -> None:
+        """REBUILD: recompress all live rows, dropping deleted ones.
+
+        Models ``ALTER INDEX ... REBUILD``: delete-bitmap entries and delta
+        stores are folded into fresh compressed row groups.
+        """
+        live_rows: list[tuple[Any, ...]] = list(self._iter_live_rows())
+        old_group_ids = [g.group_id for g in self.directory.row_groups()]
+        for group_id in old_group_ids:
+            self.directory.remove_row_group(group_id)
+            self.delete_bitmap.forget_group(group_id)
+        self._delta_stores.clear()
+        self._open_delta_id = None
+        if live_rows:
+            self.loader.load_rows(live_rows)
+
+    def archive(self) -> None:
+        """Switch compressed row groups to archival compression."""
+        for group in list(self.directory.row_groups()):
+            self.directory.replace_row_group(group.to_archived())
+
+    def unarchive(self) -> None:
+        for group in list(self.directory.row_groups()):
+            self.directory.replace_row_group(group.to_unarchived())
+
+    def _iter_live_rows(self) -> Iterator[tuple[Any, ...]]:
+        names = self.schema.names
+        for unit in self.scan_units():
+            if unit.kind == GROUP:
+                group = unit.group
+                assert group is not None
+                decoded = {name: group.decode_column(name) for name in names}
+                for position in range(group.row_count):
+                    if unit.deleted_mask is not None and unit.deleted_mask[position]:
+                        continue
+                    row = []
+                    for name in names:
+                        values, mask = decoded[name]
+                        if mask is not None and mask[position]:
+                            row.append(None)
+                        else:
+                            value = values[position]
+                            row.append(value.item() if hasattr(value, "item") else value)
+                    yield tuple(row)
+            else:
+                assert unit.delta is not None
+                for _row_id, row in unit.delta.scan():
+                    yield row

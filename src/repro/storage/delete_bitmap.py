@@ -1,0 +1,79 @@
+"""The delete bitmap (delete buffer) of a columnstore index.
+
+Compressed row groups are immutable, so DELETE marks rows in a side
+structure keyed by (row-group id, position) — the paper's delete bitmap.
+Scans subtract marked rows; the tuple mover / REBUILD physically removes
+them. SQL Server keeps an in-memory bitmap backed by a B-tree on disk; we
+keep per-row-group Python sets with a vectorized mask materialization for
+batch scans.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+class DeleteBitmap:
+    """Deleted-row marks for the compressed row groups of one index."""
+
+    def __init__(self) -> None:
+        self._deleted: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Marking
+    # ------------------------------------------------------------------ #
+    def mark(self, group_id: int, position: int) -> bool:
+        """Mark one row deleted; returns ``False`` if it already was."""
+        positions = self._deleted.setdefault(group_id, set())
+        if position in positions:
+            return False
+        positions.add(position)
+        return True
+
+    def mark_many(self, group_id: int, positions: Iterator[int] | list[int]) -> int:
+        """Mark many rows of one row group; returns newly marked count."""
+        existing = self._deleted.setdefault(group_id, set())
+        before = len(existing)
+        existing.update(int(p) for p in positions)
+        return len(existing) - before
+
+    def is_deleted(self, group_id: int, position: int) -> bool:
+        positions = self._deleted.get(group_id)
+        return positions is not None and position in positions
+
+    # ------------------------------------------------------------------ #
+    # Scan support
+    # ------------------------------------------------------------------ #
+    def deleted_count(self, group_id: int) -> int:
+        positions = self._deleted.get(group_id)
+        return len(positions) if positions else 0
+
+    @property
+    def total_deleted(self) -> int:
+        return sum(len(p) for p in self._deleted.values())
+
+    def mask_for(self, group_id: int, row_count: int) -> np.ndarray | None:
+        """Boolean deleted-mask for a row group, or ``None`` if untouched."""
+        positions = self._deleted.get(group_id)
+        if not positions:
+            return None
+        mask = np.zeros(row_count, dtype=bool)
+        mask[np.fromiter(positions, dtype=np.int64, count=len(positions))] = True
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def forget_group(self, group_id: int) -> None:
+        """Drop all marks for a row group (after rebuild/removal)."""
+        self._deleted.pop(group_id, None)
+
+    def groups_with_deletes(self) -> list[int]:
+        return sorted(gid for gid, positions in self._deleted.items() if positions)
+
+    @property
+    def size_bytes(self) -> int:
+        """Accounting size: a compressed bitmap would be ~4 bytes/entry."""
+        return self.total_deleted * 4 + 16 * len(self._deleted)

@@ -1,0 +1,115 @@
+"""Delta stores: B-tree row stores absorbing trickle inserts.
+
+New rows that arrive one at a time (or in small batches) land in the open
+delta store — an uncompressed B-tree keyed by row id, exactly as in the
+paper. When a delta store reaches the close threshold it stops accepting
+inserts and waits for the tuple mover to compress it into a row group.
+Deletes against delta-store rows remove them in place (no delete-bitmap
+entry needed).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..errors import StorageError
+from ..schema import TableSchema
+from .btree import BPlusTree
+
+
+class DeltaState(enum.Enum):
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+class DeltaStore:
+    """One delta store of a columnstore index."""
+
+    def __init__(self, delta_id: int, schema: TableSchema, btree_order: int = 64) -> None:
+        self.delta_id = delta_id
+        self.schema = schema
+        self.state = DeltaState.OPEN
+        self._rows = BPlusTree(order=btree_order)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is DeltaState.OPEN
+
+    def close(self) -> None:
+        """Stop accepting inserts; the tuple mover may now compress it."""
+        self.state = DeltaState.CLOSED
+
+    # ------------------------------------------------------------------ #
+    # DML
+    # ------------------------------------------------------------------ #
+    def insert(self, row_id: int, values: tuple[Any, ...]) -> None:
+        if self.state is not DeltaState.OPEN:
+            raise StorageError(f"delta store {self.delta_id} is closed")
+        if row_id in self._rows:
+            raise StorageError(f"duplicate row id {row_id} in delta store")
+        self._rows.insert(row_id, values)
+
+    def delete(self, row_id: int) -> bool:
+        """Delete a row in place; returns ``False`` if absent."""
+        return self._rows.delete(row_id)
+
+    def get(self, row_id: int) -> tuple[Any, ...] | None:
+        return self._rows.get(row_id)
+
+    # ------------------------------------------------------------------ #
+    # Scans
+    # ------------------------------------------------------------------ #
+    def scan(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """(row_id, row) pairs in row-id order."""
+        return iter(self._rows.items())
+
+    def to_columns(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray | None], list[int]]:
+        """Materialize as column arrays for vectorized scans / compression.
+
+        Returns (columns, null_masks, row_ids). VARCHAR columns come back
+        as object arrays, everything else in the physical NumPy dtype.
+        """
+        rows = list(self._rows.items())
+        row_ids = [row_id for row_id, _ in rows]
+        columns: dict[str, np.ndarray] = {}
+        null_masks: dict[str, np.ndarray | None] = {}
+        n = len(rows)
+        for position, col in enumerate(self.schema):
+            raw = [row[position] for _, row in rows]
+            mask = np.fromiter((v is None for v in raw), dtype=bool, count=n)
+            has_nulls = bool(mask.any())
+            dtype = col.dtype.numpy_dtype
+            if dtype == object:
+                arr = np.empty(n, dtype=object)
+                arr[:] = ["" if v is None else v for v in raw]
+            else:
+                fill = 0 if dtype != np.bool_ else False
+                arr = np.array([fill if v is None else v for v in raw], dtype=dtype)
+            columns[col.name] = arr
+            null_masks[col.name] = mask if has_nulls else None
+        return columns, null_masks, row_ids
+
+    @property
+    def size_bytes(self) -> int:
+        """Uncompressed accounting size (rows are stored as Python tuples)."""
+        total = 0
+        for _, row in self._rows.items():
+            for col, value in zip(self.schema, row):
+                if value is None:
+                    total += 2
+                elif isinstance(value, str):
+                    total += len(value.encode("utf-8")) + 2
+                else:
+                    total += col.dtype.fixed_width_bytes
+            total += 16  # per-row B-tree overhead
+        return total

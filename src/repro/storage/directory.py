@@ -1,0 +1,129 @@
+"""The segment directory: catalog of row groups, segments and dictionaries.
+
+The paper's directory keeps, for every segment, the metadata the engine
+needs without opening the segment blob: row count, encoded size, min/max.
+Ours additionally owns the per-column global (primary) dictionaries and
+hands out row-group ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..errors import StorageError
+from ..schema import TableSchema
+from .dictionary import GlobalDictionary
+from .rowgroup import RowGroup
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """Directory row describing one column segment (for EXPLAIN / tests)."""
+
+    group_id: int
+    column: str
+    row_count: int
+    null_count: int
+    min_value: Any
+    max_value: Any
+    scheme: str
+    encoded_size_bytes: int
+    raw_size_bytes: int
+    archived: bool
+
+
+class SegmentDirectory:
+    """Catalog of the compressed row groups of one columnstore index."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._row_groups: dict[int, RowGroup] = {}
+        self._next_group_id = 0
+        self._global_dicts: dict[str, GlobalDictionary] = {
+            col.name: GlobalDictionary() for col in schema
+        }
+
+    # ------------------------------------------------------------------ #
+    # Row-group lifecycle
+    # ------------------------------------------------------------------ #
+    def allocate_group_id(self) -> int:
+        group_id = self._next_group_id
+        self._next_group_id += 1
+        return group_id
+
+    def add_row_group(self, group: RowGroup) -> None:
+        if group.group_id in self._row_groups:
+            raise StorageError(f"duplicate row group id {group.group_id}")
+        self._row_groups[group.group_id] = group
+
+    def replace_row_group(self, group: RowGroup) -> None:
+        """Swap in a re-compressed version of an existing row group."""
+        if group.group_id not in self._row_groups:
+            raise StorageError(f"unknown row group id {group.group_id}")
+        self._row_groups[group.group_id] = group
+
+    def remove_row_group(self, group_id: int) -> RowGroup:
+        try:
+            return self._row_groups.pop(group_id)
+        except KeyError:
+            raise StorageError(f"unknown row group id {group_id}") from None
+
+    def row_group(self, group_id: int) -> RowGroup:
+        try:
+            return self._row_groups[group_id]
+        except KeyError:
+            raise StorageError(f"unknown row group id {group_id}") from None
+
+    def row_groups(self) -> Iterator[RowGroup]:
+        """Row groups in id order (deterministic scans)."""
+        for group_id in sorted(self._row_groups):
+            yield self._row_groups[group_id]
+
+    def __len__(self) -> int:
+        return len(self._row_groups)
+
+    # ------------------------------------------------------------------ #
+    # Dictionaries
+    # ------------------------------------------------------------------ #
+    def global_dictionary(self, column: str) -> GlobalDictionary:
+        try:
+            return self._global_dicts[column]
+        except KeyError:
+            raise StorageError(f"unknown column {column!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # Metadata views
+    # ------------------------------------------------------------------ #
+    def segment_infos(self) -> list[SegmentInfo]:
+        infos = []
+        for group in self.row_groups():
+            for column, seg in sorted(group.segments.items()):
+                infos.append(
+                    SegmentInfo(
+                        group_id=group.group_id,
+                        column=column,
+                        row_count=seg.row_count,
+                        null_count=seg.null_count,
+                        min_value=seg.min_value,
+                        max_value=seg.max_value,
+                        scheme=seg.scheme.value,
+                        encoded_size_bytes=seg.encoded_size_bytes,
+                        raw_size_bytes=seg.raw_size_bytes,
+                        archived=seg.archived,
+                    )
+                )
+        return infos
+
+    @property
+    def total_rows(self) -> int:
+        return sum(group.row_count for group in self._row_groups.values())
+
+    @property
+    def encoded_size_bytes(self) -> int:
+        dict_size = sum(d.size_bytes for d in self._global_dicts.values())
+        return sum(g.encoded_size_bytes for g in self._row_groups.values()) + dict_size
+
+    @property
+    def raw_size_bytes(self) -> int:
+        return sum(g.raw_size_bytes for g in self._row_groups.values())

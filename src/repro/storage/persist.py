@@ -1,0 +1,209 @@
+"""Database persistence: save/load a whole database to a directory.
+
+Models the on-disk reality of the paper's design: compressed segments are
+immutable blobs (one file per segment, written by
+:mod:`repro.storage.blob`), the directory/catalog is small metadata, and
+the mutable side (delta stores, delete bitmap, row-store heaps) is
+serialized row-wise.
+
+Layout::
+
+    <root>/catalog.json                    tables, schemas, configs
+    <root>/<table>/meta.json               id counters, delta states
+    <root>/<table>/rowgroups/g<id>.<col>.seg
+    <root>/<table>/delta_<id>.rows
+    <root>/<table>/rowstore.rows
+    <root>/<table>/delete_bitmap.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import StorageError
+from ..schema import ColumnDef, TableSchema
+from ..types import DataType, TypeKind
+from . import serde
+from .blob import deserialize_segment, serialize_segment
+from .columnstore import ColumnStoreIndex
+from .config import StoreConfig
+from .deltastore import DeltaStore
+from .rowgroup import RowGroup
+
+
+# ---------------------------------------------------------------------- #
+# Row serialization (delta stores, row-store heaps)
+# ---------------------------------------------------------------------- #
+def serialize_rows(schema: TableSchema, rows: list[tuple[Any, ...]]) -> bytes:
+    """Column-wise serialization of physical rows with NULL flags."""
+    out = bytearray()
+    serde.write_varint(out, len(rows))
+    for position, col in enumerate(schema):
+        values = [row[position] for row in rows]
+        null_flags = bytearray()
+        non_null = []
+        for value in values:
+            if value is None:
+                null_flags.append(1)
+            else:
+                null_flags.append(0)
+                non_null.append(value)
+        out += bytes(null_flags)
+        payload = serde.serialize_values(non_null, col.dtype)
+        serde.write_varint(out, len(payload))
+        out += payload
+    return bytes(out)
+
+
+def deserialize_rows(schema: TableSchema, blob: bytes) -> list[tuple[Any, ...]]:
+    count, pos = serde.read_varint(blob, 0)
+    columns: list[list[Any]] = []
+    for col in schema:
+        flags = blob[pos : pos + count]
+        pos += count
+        length, pos = serde.read_varint(blob, pos)
+        non_null = serde.deserialize_values(blob[pos : pos + length], col.dtype)
+        pos += length
+        if col.dtype.kind is TypeKind.BOOL:
+            non_null = [bool(v) for v in non_null]
+        it = iter(non_null)
+        columns.append([None if flag else next(it) for flag in flags])
+    return list(zip(*columns)) if columns else []
+
+
+# ---------------------------------------------------------------------- #
+# Schema / config <-> JSON
+# ---------------------------------------------------------------------- #
+def schema_to_json(schema: TableSchema) -> list[dict]:
+    out = []
+    for col in schema:
+        out.append(
+            {
+                "name": col.name,
+                "kind": col.dtype.kind.value,
+                "scale": col.dtype.scale,
+                "length": col.dtype.length,
+                "nullable": col.nullable,
+            }
+        )
+    return out
+
+
+def schema_from_json(data: list[dict]) -> TableSchema:
+    columns = []
+    for entry in data:
+        dtype = DataType(
+            TypeKind(entry["kind"]), scale=entry["scale"], length=entry["length"]
+        )
+        columns.append(ColumnDef(entry["name"], dtype, entry["nullable"]))
+    return TableSchema(columns)
+
+
+def config_to_json(config: StoreConfig) -> dict:
+    return {
+        "rowgroup_size": config.rowgroup_size,
+        "bulk_load_threshold": config.bulk_load_threshold,
+        "delta_close_rows": config.delta_close_rows,
+        "reorder_rows": config.reorder_rows,
+        "archival": config.archival,
+        "btree_order": config.btree_order,
+    }
+
+
+def config_from_json(data: dict) -> StoreConfig:
+    return StoreConfig(**data)
+
+
+# ---------------------------------------------------------------------- #
+# Columnstore index save/load
+# ---------------------------------------------------------------------- #
+def save_columnstore(index: ColumnStoreIndex, table_dir: Path) -> None:
+    groups_dir = table_dir / "rowgroups"
+    groups_dir.mkdir(parents=True, exist_ok=True)
+    group_ids = []
+    for group in index.directory.row_groups():
+        group_ids.append(group.group_id)
+        for column, segment in group.segments.items():
+            path = groups_dir / f"g{group.group_id}.{column}.seg"
+            path.write_bytes(serialize_segment(segment))
+
+    delta_meta = []
+    for delta in index.delta_stores():
+        rows = [row for _, row in delta.scan()]
+        row_ids = [row_id for row_id, _ in delta.scan()]
+        payload = bytearray()
+        serde.write_varint(payload, len(row_ids))
+        for row_id in row_ids:
+            serde.write_varint(payload, row_id)
+        payload += serialize_rows(index.schema, rows)
+        (table_dir / f"delta_{delta.delta_id}.rows").write_bytes(bytes(payload))
+        delta_meta.append({"id": delta.delta_id, "open": delta.is_open})
+
+    bitmap = {
+        str(gid): sorted(index.delete_bitmap._deleted.get(gid, ()))
+        for gid in index.delete_bitmap.groups_with_deletes()
+    }
+    (table_dir / "delete_bitmap.json").write_text(json.dumps(bitmap))
+
+    meta = {
+        "group_ids": group_ids,
+        "next_group_id": index.directory._next_group_id,
+        "deltas": delta_meta,
+        "next_delta_id": index._next_delta_id,
+        "next_row_id": index._next_row_id,
+        "open_delta_id": index._open_delta_id,
+    }
+    (table_dir / "meta.json").write_text(json.dumps(meta))
+
+
+def load_columnstore(
+    schema: TableSchema, config: StoreConfig, table_dir: Path
+) -> ColumnStoreIndex:
+    index = ColumnStoreIndex(schema, config)
+    meta = json.loads((table_dir / "meta.json").read_text())
+
+    groups_dir = table_dir / "rowgroups"
+    for group_id in meta["group_ids"]:
+        segments = {}
+        for col in schema:
+            path = groups_dir / f"g{group_id}.{col.name}.seg"
+            if not path.exists():
+                raise StorageError(f"missing segment blob {path}")
+            segments[col.name] = deserialize_segment(path.read_bytes())
+        group = RowGroup(group_id=group_id, schema=schema, segments=segments)
+        index.directory.add_row_group(group)
+        # Re-intern dictionary values so global dictionaries match a
+        # freshly-built index (the dictionary field is populated for
+        # archived segments too).
+        for col in schema:
+            segment = segments[col.name]
+            if segment.dictionary is not None:
+                index.directory.global_dictionary(col.name).intern_all(
+                    segment.dictionary.values
+                )
+    index.directory._next_group_id = meta["next_group_id"]
+
+    for entry in meta["deltas"]:
+        delta = DeltaStore(entry["id"], schema, config.btree_order)
+        blob = (table_dir / f"delta_{entry['id']}.rows").read_bytes()
+        n, pos = serde.read_varint(blob, 0)
+        row_ids = []
+        for _ in range(n):
+            row_id, pos = serde.read_varint(blob, pos)
+            row_ids.append(row_id)
+        rows = deserialize_rows(schema, blob[pos:])
+        for row_id, row in zip(row_ids, rows):
+            delta.insert(row_id, row)
+        if not entry["open"]:
+            delta.close()
+        index._delta_stores[entry["id"]] = delta
+    index._next_delta_id = meta["next_delta_id"]
+    index._next_row_id = meta["next_row_id"]
+    index._open_delta_id = meta["open_delta_id"]
+
+    bitmap = json.loads((table_dir / "delete_bitmap.json").read_text())
+    for gid, positions in bitmap.items():
+        index.delete_bitmap.mark_many(int(gid), positions)
+    return index

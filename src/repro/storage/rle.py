@@ -1,0 +1,103 @@
+"""Run-length encoding of integer code streams.
+
+RLE is the preferred compression for column segments when values cluster
+into runs (which the Vertipaq-style row reordering actively manufactures —
+see :mod:`repro.storage.reorder`). A run is a ``(value, length)`` pair; both
+streams are themselves bit-packed with their minimal widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EncodingError
+from . import bitpack
+
+
+def split_runs(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Decompose ``values`` into (run_values, run_lengths).
+
+    >>> split_runs(np.array([7, 7, 7, 2, 2, 9]))
+    (array([7, 2, 9]), array([3, 2, 1]))
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise EncodingError("split_runs expects a 1-D array")
+    if values.size == 0:
+        return values[:0], np.zeros(0, dtype=np.int64)
+    boundaries = np.flatnonzero(values[1:] != values[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [values.size]))
+    return values[starts], (ends - starts).astype(np.int64)
+
+
+def run_count(values: np.ndarray) -> int:
+    """Number of runs, without materializing them (used by size estimation)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0
+    return int(np.count_nonzero(values[1:] != values[:-1])) + 1
+
+
+@dataclass(frozen=True)
+class RleBlock:
+    """An RLE-compressed stream of non-negative integer codes."""
+
+    count: int
+    n_runs: int
+    value_width: int
+    length_width: int
+    value_payload: bytes
+    length_payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.value_payload) + len(self.length_payload) + 16
+
+    def decode(self) -> np.ndarray:
+        """Expand back to the original code stream (dtype uint64)."""
+        run_values = bitpack.unpack(self.value_payload, self.value_width, self.n_runs)
+        run_lengths = bitpack.unpack(self.length_payload, self.length_width, self.n_runs)
+        decoded = np.repeat(run_values, run_lengths.astype(np.int64))
+        if decoded.size != self.count:
+            raise EncodingError(
+                f"RLE block decoded to {decoded.size} values, expected {self.count}"
+            )
+        return decoded
+
+    def runs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (values, lengths) pair, for per-run predicate evaluation."""
+        run_values = bitpack.unpack(self.value_payload, self.value_width, self.n_runs)
+        run_lengths = bitpack.unpack(self.length_payload, self.length_width, self.n_runs)
+        return run_values, run_lengths.astype(np.int64)
+
+
+def encode(values: np.ndarray) -> RleBlock:
+    """RLE-encode a stream of non-negative integer codes."""
+    values = np.asarray(values)
+    run_values, run_lengths = split_runs(values)
+    value_width = bitpack.bits_needed(int(run_values.max()) if run_values.size else 0)
+    length_width = bitpack.bits_needed(int(run_lengths.max()) if run_lengths.size else 0)
+    return RleBlock(
+        count=int(values.size),
+        n_runs=int(run_values.size),
+        value_width=value_width,
+        length_width=length_width,
+        value_payload=bitpack.pack(run_values.astype(np.uint64), value_width),
+        length_payload=bitpack.pack(run_lengths.astype(np.uint64), length_width),
+    )
+
+
+def estimated_size_bytes(values: np.ndarray, value_width: int) -> int:
+    """Cheap size estimate used by the encoding chooser (no payload built).
+
+    Assumes run lengths fit in 20 bits (row groups are ≤ 2^20 rows).
+    """
+    n_runs = run_count(values)
+    return (
+        bitpack.packed_size_bytes(n_runs, value_width)
+        + bitpack.packed_size_bytes(n_runs, 20)
+        + 16
+    )

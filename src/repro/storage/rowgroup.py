@@ -1,0 +1,84 @@
+"""Row groups: horizontal partitions of a columnstore index.
+
+A compressed row group holds about a million rows (configurable), stored as
+one :class:`~repro.storage.segment.ColumnSegment` per column. Rows inside a
+row group are addressed by position; together with the row-group id this
+forms the row locator that the delete bitmap uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import StorageError
+from ..schema import TableSchema
+from .segment import ColumnSegment
+
+
+@dataclass
+class RowGroup:
+    """A compressed row group: one segment per column, equal row counts."""
+
+    group_id: int
+    schema: TableSchema
+    segments: dict[str, ColumnSegment] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        expected = {col.name for col in self.schema}
+        if set(self.segments) != expected:
+            missing = expected - set(self.segments)
+            extra = set(self.segments) - expected
+            raise StorageError(
+                f"row group {self.group_id}: segments do not match schema "
+                f"(missing {sorted(missing)}, extra {sorted(extra)})"
+            )
+        counts = {seg.row_count for seg in self.segments.values()}
+        if len(counts) != 1:
+            raise StorageError(
+                f"row group {self.group_id}: unequal segment row counts {sorted(counts)}"
+            )
+
+    @property
+    def row_count(self) -> int:
+        return next(iter(self.segments.values())).row_count
+
+    def segment(self, column: str) -> ColumnSegment:
+        try:
+            return self.segments[column]
+        except KeyError:
+            raise StorageError(
+                f"row group {self.group_id} has no segment for column {column!r}"
+            ) from None
+
+    def decode_column(self, column: str) -> tuple[np.ndarray, np.ndarray | None]:
+        """Materialize one column as (values, null_mask)."""
+        return self.segment(column).decode()
+
+    @property
+    def encoded_size_bytes(self) -> int:
+        return sum(seg.encoded_size_bytes for seg in self.segments.values())
+
+    @property
+    def raw_size_bytes(self) -> int:
+        return sum(seg.raw_size_bytes for seg in self.segments.values())
+
+    @property
+    def archived(self) -> bool:
+        return all(seg.archived for seg in self.segments.values())
+
+    def to_archived(self) -> "RowGroup":
+        """Archive every segment (COLUMNSTORE_ARCHIVE)."""
+        return RowGroup(
+            group_id=self.group_id,
+            schema=self.schema,
+            segments={name: seg.to_archived() for name, seg in self.segments.items()},
+        )
+
+    def to_unarchived(self) -> "RowGroup":
+        return RowGroup(
+            group_id=self.group_id,
+            schema=self.schema,
+            segments={name: seg.to_unarchived() for name, seg in self.segments.items()},
+        )

@@ -1,0 +1,369 @@
+"""Column segments: the unit of columnar storage and compression.
+
+One :class:`ColumnSegment` holds one column of one row group, compressed
+independently, together with the metadata the scan uses for segment
+elimination (min/max, row and null counts) — mirroring Section "Index
+storage" of the paper. A segment can additionally be *archived*: its
+payloads are run through the LZ77 codec (:mod:`repro.storage.xpress`) and
+decompressed on access, modelling COLUMNSTORE_ARCHIVE.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import EncodingError
+from ..types import DataType, TypeKind
+from . import serde, value_encoding, xpress
+from .dictionary import GlobalDictionary, LocalDictionary
+from .encodings import (
+    BitpackBlock,
+    RawBlock,
+    Scheme,
+    StreamBlock,
+    dictionary_pays_off,
+    encode_stream,
+    pack_null_mask,
+    unpack_null_mask,
+)
+from .rle import RleBlock
+
+_METADATA_OVERHEAD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ColumnSegment:
+    """An immutable, compressed column of one row group."""
+
+    dtype: DataType
+    row_count: int
+    scheme: Scheme
+    stream: StreamBlock
+    dictionary: LocalDictionary | None
+    value_enc: value_encoding.ValueEncoding | None
+    null_payload: bytes | None
+    null_count: int
+    min_value: Any
+    max_value: Any
+    raw_size_bytes: int
+    archive: bytes | None = None  # xpress-compressed payloads when archived
+
+    # ------------------------------------------------------------------ #
+    # Size accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def archived(self) -> bool:
+        return self.archive is not None
+
+    @property
+    def encoded_size_bytes(self) -> int:
+        """On-"disk" size of this segment, including dictionary and nulls."""
+        if self.archive is not None:
+            payload_size = len(self.archive)
+        else:
+            payload_size = self.stream.size_bytes
+            if self.dictionary is not None:
+                payload_size += self.dictionary.size_bytes
+        null_size = len(self.null_payload) if self.null_payload else 0
+        return payload_size + null_size + _METADATA_OVERHEAD_BYTES
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.raw_size_bytes / max(1, self.encoded_size_bytes)
+
+    # ------------------------------------------------------------------ #
+    # Metadata / segment elimination
+    # ------------------------------------------------------------------ #
+    def overlaps_range(self, low: Any, high: Any) -> bool:
+        """Can any row of this segment satisfy ``low <= value <= high``?
+
+        ``None`` bounds are unbounded. A segment that is entirely NULL can
+        never satisfy a range predicate.
+        """
+        if self.min_value is None:
+            return False
+        if low is not None and self.max_value < low:
+            return False
+        if high is not None and self.min_value > high:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def null_mask(self) -> np.ndarray | None:
+        """Boolean mask of NULL positions, or ``None`` when fully non-null."""
+        if self.null_payload is None:
+            return None
+        return unpack_null_mask(self.null_payload, self.row_count)
+
+    def codes(self) -> np.ndarray:
+        """The integer stream (dict codes or value offsets), dtype uint64."""
+        if self.scheme is Scheme.RAW:
+            raise EncodingError("raw segments have no code stream")
+        return self._live_stream().decode()
+
+    def decode(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Materialize (values, null_mask) in the column's physical dtype."""
+        stream = self._live_stream()
+        mask = self.null_mask()
+        if self.scheme is Scheme.RAW:
+            return stream.decode(), mask
+        codes = stream.decode()
+        if self.scheme is Scheme.DICT:
+            dictionary = self._live_dictionary()
+            if len(dictionary) == 0:
+                # All-NULL segment: the code stream is filler zeros and
+                # the dictionary is empty; emit filler values under the
+                # (all-True) null mask.
+                if self.dtype.kind is TypeKind.VARCHAR:
+                    values = np.empty(self.row_count, dtype=object)
+                    values[:] = [""] * self.row_count
+                else:
+                    values = np.zeros(self.row_count, dtype=self.dtype.numpy_dtype)
+                return values, mask
+            if self.dtype.kind is TypeKind.VARCHAR:
+                values = dictionary.decode(codes)
+            else:
+                values = dictionary.decode_typed(codes, self.dtype.numpy_dtype)
+            return values, mask
+        assert self.value_enc is not None
+        return self.value_enc.invert(codes, self.dtype.numpy_dtype), mask
+
+    def live_dictionary(self) -> LocalDictionary:
+        """The segment's dictionary with real values (decompresses archives).
+
+        Used by the scan operator to evaluate predicates in encoded space:
+        one evaluation per distinct value instead of one per row.
+        """
+        return self._live_dictionary()
+
+    def _live_stream(self) -> StreamBlock:
+        """The stream with real payload bytes, decompressing if archived."""
+        if self.archive is None:
+            return self.stream
+        payloads, _dict_payload = _split_archive(xpress.decompress(self.archive))
+        return _with_payloads(self.stream, payloads)
+
+    def _live_dictionary(self) -> LocalDictionary:
+        if self.dictionary is None:
+            raise EncodingError("segment has no dictionary")
+        if self.archive is None:
+            return self.dictionary
+        _payloads, dict_payload = _split_archive(xpress.decompress(self.archive))
+        if dict_payload is None:
+            return self.dictionary
+        return LocalDictionary(serde.deserialize_values(dict_payload, self.dtype))
+
+    # ------------------------------------------------------------------ #
+    # Archival compression
+    # ------------------------------------------------------------------ #
+    def to_archived(self) -> "ColumnSegment":
+        """Re-compress payloads with the archival codec (idempotent)."""
+        if self.archive is not None:
+            return self
+        payloads = _collect_payloads(self.stream)
+        dict_payload = (
+            serde.serialize_values(self.dictionary.values, self.dtype)
+            if self.dictionary is not None
+            else None
+        )
+        blob = _join_archive(payloads, dict_payload)
+        return dataclasses.replace(
+            self,
+            archive=xpress.compress(blob),
+            stream=_with_payloads(self.stream, [b""] * len(payloads)),
+        )
+
+    def to_unarchived(self) -> "ColumnSegment":
+        """Restore the plain (non-archival) representation."""
+        if self.archive is None:
+            return self
+        payloads, dict_payload = _split_archive(xpress.decompress(self.archive))
+        dictionary = self.dictionary
+        if dict_payload is not None:
+            dictionary = LocalDictionary(serde.deserialize_values(dict_payload, self.dtype))
+        return dataclasses.replace(
+            self,
+            archive=None,
+            stream=_with_payloads(self.stream, payloads),
+            dictionary=dictionary,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Archive payload plumbing
+# ---------------------------------------------------------------------- #
+def _collect_payloads(stream: StreamBlock) -> list[bytes]:
+    if isinstance(stream, RleBlock):
+        return [stream.value_payload, stream.length_payload]
+    return [stream.payload]
+
+
+def _with_payloads(stream: StreamBlock, payloads: list[bytes]) -> StreamBlock:
+    if isinstance(stream, RleBlock):
+        return dataclasses.replace(
+            stream, value_payload=payloads[0], length_payload=payloads[1]
+        )
+    return dataclasses.replace(stream, payload=payloads[0])
+
+
+def _join_archive(payloads: list[bytes], dict_payload: bytes | None) -> bytes:
+    out = bytearray()
+    parts = list(payloads)
+    parts.append(dict_payload if dict_payload is not None else b"")
+    serde.write_varint(out, len(payloads))
+    serde.write_varint(out, 1 if dict_payload is not None else 0)
+    for part in parts:
+        serde.write_varint(out, len(part))
+        out += part
+    return bytes(out)
+
+
+def _split_archive(blob: bytes) -> tuple[list[bytes], bytes | None]:
+    n_payloads, pos = serde.read_varint(blob, 0)
+    has_dict, pos = serde.read_varint(blob, pos)
+    parts: list[bytes] = []
+    for _ in range(n_payloads + 1):
+        length, pos = serde.read_varint(blob, pos)
+        parts.append(blob[pos : pos + length])
+        pos += length
+    trailing = parts.pop()
+    dict_payload = trailing if has_dict else None
+    return parts, dict_payload
+
+
+# ---------------------------------------------------------------------- #
+# Segment construction
+# ---------------------------------------------------------------------- #
+def encode_segment(
+    dtype: DataType,
+    values: np.ndarray,
+    null_mask: np.ndarray | None = None,
+    global_dict: GlobalDictionary | None = None,
+) -> ColumnSegment:
+    """Compress one column of one row group into a :class:`ColumnSegment`.
+
+    ``values`` holds physical values (see :mod:`repro.types`); positions
+    flagged in ``null_mask`` are ignored for statistics and dictionary
+    construction. If a :class:`GlobalDictionary` is supplied, the segment's
+    distinct values are interned into it (the paper's primary dictionary).
+    """
+    values = np.asarray(values)
+    row_count = int(values.size)
+    if null_mask is not None:
+        null_mask = np.asarray(null_mask, dtype=bool)
+        if null_mask.shape != (row_count,):
+            raise EncodingError("null mask shape does not match values")
+        if not null_mask.any():
+            null_mask = None
+    null_count = int(null_mask.sum()) if null_mask is not None else 0
+    non_null = values[~null_mask] if null_mask is not None else values
+
+    raw_size = _raw_size_bytes(dtype, values, null_mask)
+    min_value, max_value = _min_max(dtype, non_null)
+
+    if dtype.kind is TypeKind.VARCHAR:
+        scheme, stream, dictionary, venc = _encode_strings(non_null, null_mask, row_count)
+    elif dtype.kind is TypeKind.FLOAT:
+        scheme, stream, dictionary, venc = _encode_floats(values, non_null, null_mask, row_count)
+    else:
+        scheme, stream, dictionary, venc = _encode_ints(values, non_null, null_mask, row_count)
+
+    if global_dict is not None and dictionary is not None:
+        global_dict.intern_all(dictionary.values)
+
+    return ColumnSegment(
+        dtype=dtype,
+        row_count=row_count,
+        scheme=scheme,
+        stream=stream,
+        dictionary=dictionary,
+        value_enc=venc,
+        null_payload=pack_null_mask(null_mask) if null_mask is not None else None,
+        null_count=null_count,
+        min_value=min_value,
+        max_value=max_value,
+        raw_size_bytes=raw_size,
+    )
+
+
+def _raw_size_bytes(
+    dtype: DataType, values: np.ndarray, null_mask: np.ndarray | None
+) -> int:
+    if dtype.kind is TypeKind.VARCHAR:
+        total = 0
+        mask = null_mask if null_mask is not None else np.zeros(values.size, dtype=bool)
+        for value, is_null in zip(values.tolist(), mask.tolist()):
+            total += 2 if is_null else len(str(value).encode("utf-8")) + 2
+        return total
+    return int(values.size) * dtype.fixed_width_bytes
+
+
+def _min_max(dtype: DataType, non_null: np.ndarray) -> tuple[Any, Any]:
+    if non_null.size == 0:
+        return None, None
+    if dtype.kind is TypeKind.VARCHAR:
+        lst = non_null.tolist()
+        return min(lst), max(lst)
+    if dtype.kind is TypeKind.FLOAT:
+        return float(non_null.min()), float(non_null.max())
+    if dtype.kind is TypeKind.BOOL:
+        return bool(non_null.min()), bool(non_null.max())
+    return int(non_null.min()), int(non_null.max())
+
+
+def _fill_codes(
+    codes_non_null: np.ndarray, null_mask: np.ndarray | None, row_count: int
+) -> np.ndarray:
+    """Scatter non-null codes into a full-length stream (nulls become 0)."""
+    if null_mask is None:
+        return codes_non_null
+    full = np.zeros(row_count, dtype=np.int64)
+    full[~null_mask] = codes_non_null
+    return full
+
+
+def _encode_strings(non_null, null_mask, row_count):
+    dictionary, codes = LocalDictionary.build(non_null)
+    stream = encode_stream(_fill_codes(codes, null_mask, row_count))
+    return Scheme.DICT, stream, dictionary, None
+
+
+def _encode_ints(values, non_null, null_mask, row_count):
+    """Physical-int columns: choose dictionary vs value encoding by size."""
+    venc = value_encoding.choose_integer_encoding(non_null.astype(np.int64))
+    offsets = venc.apply(non_null.astype(np.int64)) if non_null.size else non_null.astype(np.uint64)
+    offset_width = int(offsets.max()).bit_length() if offsets.size else 0
+    ndv = int(np.unique(non_null).size) if non_null.size else 0
+    if non_null.size and dictionary_pays_off(row_count, ndv, offset_width, 8):
+        dictionary, codes = LocalDictionary.build(non_null.astype(np.int64))
+        stream = encode_stream(_fill_codes(codes, null_mask, row_count))
+        return Scheme.DICT, stream, dictionary, None
+    stream = encode_stream(_fill_codes(offsets.astype(np.int64), null_mask, row_count))
+    return Scheme.VALUE, stream, None, venc
+
+
+def _encode_floats(values, non_null, null_mask, row_count):
+    venc = value_encoding.choose_float_encoding(non_null.astype(np.float64))
+    if venc is not None:
+        offsets = (
+            venc.apply(non_null.astype(np.float64))
+            if non_null.size
+            else np.zeros(0, dtype=np.uint64)
+        )
+        stream = encode_stream(_fill_codes(offsets.astype(np.int64), null_mask, row_count))
+        return Scheme.VALUE, stream, None, venc
+    ndv = int(np.unique(non_null).size) if non_null.size else 0
+    if non_null.size and ndv <= row_count // 4 and dictionary_pays_off(row_count, ndv, 64, 8):
+        dictionary, codes = LocalDictionary.build(non_null.astype(np.float64))
+        stream = encode_stream(_fill_codes(codes, null_mask, row_count))
+        return Scheme.DICT, stream, dictionary, None
+    filled = values.astype(np.float64).copy()
+    if null_mask is not None:
+        filled[null_mask] = 0.0
+    return Scheme.RAW, RawBlock.from_array(filled), None, None

@@ -1,0 +1,76 @@
+"""Small binary serializers used when archiving segments and dictionaries.
+
+Only what the archival path needs: a length-prefixed encoding for value
+lists (dictionary contents). Integers/floats/dates are 8-byte little-endian;
+strings are varint-length-prefixed UTF-8.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence
+
+from ..errors import EncodingError
+from ..types import DataType, TypeKind
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """LEB128-style unsigned varint."""
+    if value < 0:
+        raise EncodingError(f"varint requires non-negative value, got {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_varint(payload: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(payload):
+            raise EncodingError("truncated varint")
+        byte = payload[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def serialize_values(values: Sequence[Any], dtype: DataType) -> bytes:
+    """Serialize a list of physical values of one column type."""
+    out = bytearray()
+    write_varint(out, len(values))
+    if dtype.kind is TypeKind.VARCHAR:
+        for value in values:
+            encoded = value.encode("utf-8")
+            write_varint(out, len(encoded))
+            out += encoded
+    elif dtype.kind is TypeKind.FLOAT:
+        for value in values:
+            out += struct.pack("<d", float(value))
+    else:
+        for value in values:
+            out += struct.pack("<q", int(value))
+    return bytes(out)
+
+
+def deserialize_values(payload: bytes, dtype: DataType) -> list[Any]:
+    """Inverse of :func:`serialize_values`."""
+    count, pos = read_varint(payload, 0)
+    values: list[Any] = []
+    if dtype.kind is TypeKind.VARCHAR:
+        for _ in range(count):
+            length, pos = read_varint(payload, pos)
+            values.append(payload[pos : pos + length].decode("utf-8"))
+            pos += length
+    elif dtype.kind is TypeKind.FLOAT:
+        for _ in range(count):
+            values.append(struct.unpack_from("<d", payload, pos)[0])
+            pos += 8
+    else:
+        for _ in range(count):
+            values.append(struct.unpack_from("<q", payload, pos)[0])
+            pos += 8
+    return values

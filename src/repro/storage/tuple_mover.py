@@ -1,0 +1,50 @@
+"""The tuple mover: compresses closed delta stores into row groups.
+
+In SQL Server this is a background task; here it runs when invoked (tests
+and benchmarks drive it explicitly, and the database facade exposes it as a
+maintenance call). Each closed delta store is materialized column-wise,
+compressed through the bulk loader, and dropped — after which its rows are
+served from the new compressed row group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .columnstore import ColumnStoreIndex
+
+
+@dataclass
+class TupleMoverReport:
+    """What one tuple-mover run did (for tests and observability)."""
+
+    delta_stores_compressed: int = 0
+    rows_moved: int = 0
+    row_groups_created: int = 0
+    group_ids: list[int] = field(default_factory=list)
+
+
+class TupleMover:
+    """Moves rows from closed delta stores into compressed row groups."""
+
+    def __init__(self, index: ColumnStoreIndex) -> None:
+        self.index = index
+
+    def run(self, include_open: bool = False) -> TupleMoverReport:
+        """Compress every closed delta store (optionally the open one too).
+
+        ``include_open`` models a forced move (e.g. REORGANIZE with
+        COMPRESS_ALL_ROW_GROUPS): the open delta store is closed first.
+        """
+        if include_open:
+            self.index.close_open_delta()
+        report = TupleMoverReport()
+        for delta in self.index.closed_delta_stores():
+            columns, null_masks, _row_ids = delta.to_columns()
+            groups = self.index.loader.load_columns(columns, null_masks)
+            self.index.remove_delta_store(delta.delta_id)
+            report.delta_stores_compressed += 1
+            report.rows_moved += delta.row_count
+            report.row_groups_created += len(groups)
+            report.group_ids.extend(g.group_id for g in groups)
+        return report

@@ -1,0 +1,164 @@
+"""Tests for the catalog, table maintenance and the database facade."""
+
+import pytest
+
+from repro import Database, StoreConfig, schema, types
+from repro.db.catalog import StorageKind
+from repro.errors import CatalogError
+from repro.exec.expressions import Comparison, col, lit
+
+
+@pytest.fixture
+def config():
+    return StoreConfig(rowgroup_size=64, bulk_load_threshold=40, delta_close_rows=32)
+
+
+@pytest.fixture
+def db(config):
+    return Database(config)
+
+
+@pytest.fixture
+def sch():
+    return schema(("id", types.INT, False), ("v", types.VARCHAR))
+
+
+class TestStorageKinds:
+    def test_columnstore_only(self, db, sch):
+        table = db.create_table("t", sch, storage="columnstore")
+        assert table.columnstore is not None
+        assert table.rowstore is None
+
+    def test_rowstore_only(self, db, sch):
+        table = db.create_table("t", sch, storage="rowstore")
+        assert table.columnstore is None
+        assert table.rowstore is not None
+
+    def test_both_keeps_storages_consistent(self, db, sch):
+        db.create_table("t", sch, storage="both")
+        db.insert("t", [(i, f"v{i}") for i in range(10)])
+        table = db.table("t")
+        assert table.rowstore.row_count == 10
+        assert table.columnstore.live_rows == 10
+        db.delete_where("t", Comparison("<", col("id"), lit(5)))
+        assert table.rowstore.row_count == 5
+        assert table.columnstore.live_rows == 5
+
+    def test_both_queries_agree_across_modes(self, db, sch):
+        db.create_table("t", sch, storage="both")
+        db.insert("t", [(i, f"v{i % 3}") for i in range(50)])
+        batch = db.sql("SELECT v, COUNT(*) AS n FROM t GROUP BY v ORDER BY v", mode="batch")
+        row = db.sql("SELECT v, COUNT(*) AS n FROM t GROUP BY v ORDER BY v", mode="row")
+        assert batch.rows == row.rows
+
+    def test_unknown_storage_string(self, db, sch):
+        with pytest.raises(ValueError):
+            db.create_table("t", sch, storage="hologram")
+
+
+class TestMaintenance:
+    def test_tuple_mover_via_facade(self, db, sch):
+        db.create_table("t", sch)
+        db.insert("t", [(i, "x") for i in range(70)])  # 2 closed deltas + open
+        report = db.run_tuple_mover("t")
+        assert report.rows_moved == 64
+        assert db.table("t").columnstore.compressed_rows == 64
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 70
+
+    def test_rebuild_via_facade(self, db, sch):
+        db.create_table("t", sch)
+        db.bulk_load("t", [(i, "x") for i in range(100)])
+        db.sql("DELETE FROM t WHERE id < 10")
+        db.rebuild("t")
+        index = db.table("t").columnstore
+        assert index.delete_bitmap.total_deleted == 0
+        assert index.compressed_rows == 90
+
+    def test_rebuild_requires_columnstore(self, db, sch):
+        db.create_table("t", sch, storage="rowstore")
+        with pytest.raises(CatalogError):
+            db.rebuild("t")
+
+    def test_archival_toggle(self, db, sch):
+        db.create_table("t", sch)
+        db.bulk_load("t", [(i, f"text{i % 4}") for i in range(100)])
+        plain = db.table("t").columnstore.size_bytes
+        db.set_archival("t", True)
+        archived = db.table("t").columnstore.size_bytes
+        assert archived != plain
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 100
+        db.set_archival("t", False)
+        assert db.table("t").columnstore.size_bytes == plain
+
+    def test_size_report(self, db, sch):
+        db.create_table("t", sch, storage="both")
+        db.insert("t", [(i, "abc") for i in range(50)])
+        report = db.table("t").size_report()
+        assert report["columnstore_bytes"] > 0
+        assert report["rowstore_used_bytes"] > 0
+        assert report["rowstore_page_compressed_bytes"] > 0
+
+
+class TestStats:
+    def test_columnstore_stats(self, db, sch):
+        db.create_table("t", sch)
+        db.bulk_load("t", [(i, f"v{i % 5}") for i in range(100)])
+        stats = db.table("t").stats()
+        assert stats.row_count == 100
+        assert stats.columns["id"].min_value == 0
+        assert stats.columns["id"].max_value == 99
+        assert stats.columns["v"].ndv == 5
+
+    def test_rowstore_stats(self, db, sch):
+        db.create_table("t", sch, storage="rowstore")
+        db.insert("t", [(i, f"v{i % 5}") for i in range(20)])
+        stats = db.table("t").stats()
+        assert stats.columns["v"].ndv == 5
+        assert stats.columns["id"].max_value == 19
+
+    def test_stats_cache_invalidation(self, db, sch):
+        db.create_table("t", sch)
+        db.bulk_load("t", [(i, "x") for i in range(50)])
+        first = db.table("t").stats()
+        assert first.row_count == 50
+        db.insert("t", [(999, "y")])
+        assert db.table("t").stats().row_count == 51
+
+    def test_null_fraction(self, db, sch):
+        db.create_table("t", sch)
+        db.bulk_load("t", [(i, None if i % 2 else "x") for i in range(64)])
+        stats = db.table("t").stats()
+        assert stats.columns["v"].null_fraction == pytest.approx(0.5)
+
+
+class TestCatalog:
+    def test_table_names(self, db, sch):
+        db.create_table("b_table", sch)
+        db.create_table("a_table", sch)
+        assert db.catalog.table_names() == ["a_table", "b_table"]
+
+    def test_case_insensitive_lookup(self, db, sch):
+        db.create_table("MyTable", sch)
+        assert db.table("mytable").name == "MyTable"
+
+    def test_drop_unknown(self, db):
+        with pytest.raises(CatalogError):
+            db.drop_table("ghost")
+
+    def test_create_index(self, db, sch):
+        db.create_table("t", sch, storage="rowstore")
+        db.insert("t", [(3, "c"), (1, "a"), (2, "b")])
+        index = db.table("t").create_index("by_id", ["id"])
+        rids = list(index.seek_range((1,), (2,)))
+        assert len(rids) == 2
+
+    def test_duplicate_index_rejected(self, db, sch):
+        db.create_table("t", sch, storage="rowstore")
+        db.table("t").create_index("i", ["id"])
+        with pytest.raises(CatalogError):
+            db.table("t").create_index("i", ["id"])
+
+    def test_index_on_columnstore_only_table_rejected(self, db, sch):
+        db.create_table("t", sch, storage="columnstore")
+        with pytest.raises(CatalogError):
+            db.table("t").create_index("i", ["id"])

@@ -1,0 +1,105 @@
+"""Tests for the Batch structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.batch import Batch, concat_batches, slice_into_batches
+
+
+@pytest.fixture
+def batch():
+    return Batch.from_pydict(
+        {"a": [1, 2, 3, 4], "b": ["w", "x", None, "z"], "c": [1.5, None, 3.5, 4.5]}
+    )
+
+
+class TestConstruction:
+    def test_from_pydict_types(self, batch):
+        assert batch.column("a").dtype == np.int64
+        assert batch.column("b").dtype == object
+        assert batch.column("c").dtype == np.float64
+
+    def test_null_masks(self, batch):
+        assert batch.null_mask("a") is None
+        assert batch.null_mask("b").tolist() == [False, False, True, False]
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ExecutionError):
+            Batch(columns={"a": np.arange(3), "b": np.arange(4)})
+
+    def test_unknown_column(self, batch):
+        with pytest.raises(ExecutionError):
+            batch.column("ghost")
+
+    def test_explicit_dtype(self):
+        b = Batch.from_pydict({"a": [1, 2]}, dtypes={"a": np.dtype(np.int32)})
+        assert b.column("a").dtype == np.int32
+
+    def test_all_none_column_is_fully_masked(self):
+        b = Batch.from_pydict({"a": [None, None]})
+        assert b.null_mask("a").all()
+        # Sample-less columns get a numeric vector, not object filler.
+        assert b.column("a").dtype == np.int64
+
+
+class TestSelection:
+    def test_counts(self, batch):
+        assert batch.row_count == 4
+        assert batch.active_count == 4
+
+    def test_narrow(self, batch):
+        narrowed = batch.narrow(np.array([True, False, True, False]))
+        assert narrowed.active_count == 2
+        assert narrowed.selection.tolist() == [0, 2]
+        # Underlying data untouched.
+        assert narrowed.row_count == 4
+
+    def test_narrow_twice_intersects(self, batch):
+        first = batch.narrow(np.array([True, True, True, False]))
+        second = first.narrow(np.array([False, True, True, True]))
+        assert second.selection.tolist() == [1, 2]
+
+    def test_compact(self, batch):
+        compacted = batch.narrow(np.array([False, True, False, True])).compact()
+        assert compacted.row_count == 2
+        assert compacted.column("a").tolist() == [2, 4]
+        assert compacted.selection is None
+
+    def test_to_rows_respects_selection(self, batch):
+        rows = batch.narrow(np.array([False, False, True, False])).to_rows()
+        assert rows == [(3, None, 3.5)]
+
+
+class TestManipulation:
+    def test_project(self, batch):
+        projected = batch.project(["c", "a"])
+        assert projected.names == ["c", "a"]
+
+    def test_with_column(self, batch):
+        extended = batch.with_column("d", np.arange(4))
+        assert extended.names == ["a", "b", "c", "d"]
+
+    def test_with_column_wrong_length(self, batch):
+        with pytest.raises(ExecutionError):
+            batch.with_column("d", np.arange(5))
+
+
+class TestConcatSlice:
+    def test_concat(self, batch):
+        merged = concat_batches([batch, batch])
+        assert merged.row_count == 8
+        assert merged.null_mask("b").sum() == 2
+
+    def test_concat_empty(self):
+        assert concat_batches([]) is None
+
+    def test_concat_drops_empty_selections(self, batch):
+        empty = batch.narrow(np.zeros(4, dtype=bool))
+        merged = concat_batches([empty, batch])
+        assert merged.row_count == 4
+
+    def test_slice(self, batch):
+        slices = list(slice_into_batches(batch, batch_size=3))
+        assert [s.row_count for s in slices] == [3, 1]
+        assert slices[1].column("a").tolist() == [4]

@@ -1,0 +1,148 @@
+"""Tests for the exchange operator and parallel (dop > 1) plans."""
+
+import numpy as np
+import pytest
+
+from repro import Database, StoreConfig, schema, types
+from repro.errors import ExecutionError
+from repro.exec.batch import Batch, slice_into_batches
+from repro.exec.operators.base import BatchOperator
+from repro.exec.operators.exchange import BatchExchange
+from repro.exec.operators.scan import ColumnStoreScan
+from repro.storage.columnstore import ColumnStoreIndex
+from repro.storage.config import StoreConfig as SC
+
+
+class ListSource(BatchOperator):
+    def __init__(self, data, batch_size=8):
+        self._batch = Batch.from_pydict(data)
+        self._batch_size = batch_size
+
+    @property
+    def output_names(self):
+        return self._batch.names
+
+    def batches(self):
+        yield from slice_into_batches(self._batch, self._batch_size)
+
+
+class Exploding(BatchOperator):
+    @property
+    def output_names(self):
+        return ["a"]
+
+    def batches(self):
+        yield Batch.from_pydict({"a": [1]})
+        raise ExecutionError("producer blew up")
+
+
+class TestBatchExchange:
+    def test_merges_all_children(self):
+        children = [ListSource({"a": list(range(i * 10, i * 10 + 10))}) for i in range(4)]
+        exchange = BatchExchange(children)
+        rows = sorted(r[0] for b in exchange.batches() for r in b.to_rows())
+        assert rows == list(range(40))
+
+    def test_single_child_passthrough(self):
+        exchange = BatchExchange([ListSource({"a": [1, 2]})])
+        assert sum(b.active_count for b in exchange.batches()) == 2
+
+    def test_requires_children(self):
+        with pytest.raises(ExecutionError):
+            BatchExchange([])
+
+    def test_mismatched_children_rejected(self):
+        with pytest.raises(ExecutionError):
+            BatchExchange([ListSource({"a": [1]}), ListSource({"b": [1]})])
+
+    def test_producer_error_propagates(self):
+        exchange = BatchExchange([Exploding(), ListSource({"a": [2]})])
+        with pytest.raises(ExecutionError, match="blew up"):
+            list(exchange.batches())
+
+    def test_describe_shows_dop(self):
+        exchange = BatchExchange([ListSource({"a": [1]})] * 3)
+        assert "dop=3" in exchange.describe()
+
+
+@pytest.fixture
+def index():
+    sch = schema(("k", types.INT, False), ("v", types.FLOAT, False))
+    store = ColumnStoreIndex(sch, SC(rowgroup_size=64, bulk_load_threshold=10))
+    store.bulk_load([(i, float(i)) for i in range(1000)])
+    return store
+
+
+class TestShardedScan:
+    def test_shards_partition_units(self, index):
+        total_units = len(list(index.scan_units()))
+        seen = 0
+        rows = []
+        for worker in range(3):
+            scan = ColumnStoreScan(index, ["k"], shard=(worker, 3))
+            for batch in scan.batches():
+                rows.extend(r[0] for r in batch.to_rows())
+            seen += scan.stats.units_seen
+        assert seen == total_units
+        assert sorted(rows) == list(range(1000))
+
+    def test_shards_disjoint(self, index):
+        first = ColumnStoreScan(index, ["k"], shard=(0, 2))
+        second = ColumnStoreScan(index, ["k"], shard=(1, 2))
+        rows_a = {r[0] for b in first.batches() for r in b.to_rows()}
+        rows_b = {r[0] for b in second.batches() for r in b.to_rows()}
+        assert not (rows_a & rows_b)
+        assert len(rows_a | rows_b) == 1000
+
+
+@pytest.fixture
+def star_db():
+    db = Database(StoreConfig(rowgroup_size=256, bulk_load_threshold=100))
+    db.sql("CREATE TABLE f (id INT NOT NULL, dim_id INT NOT NULL, v FLOAT)")
+    db.sql("CREATE TABLE d (id INT NOT NULL, tag VARCHAR)")
+    rng = np.random.default_rng(3)
+    db.bulk_load("f", [(i, int(rng.integers(0, 30)), float(i % 97)) for i in range(5000)])
+    db.bulk_load("d", [(i, f"tag{i % 4}") for i in range(30)])
+    return db
+
+
+class TestParallelPlans:
+    QUERIES = [
+        "SELECT COUNT(*) AS n, SUM(v) AS s FROM f",
+        "SELECT dim_id, COUNT(*) AS n FROM f GROUP BY dim_id ORDER BY dim_id",
+        "SELECT d.tag, SUM(f.v) AS s FROM f JOIN d ON f.dim_id = d.id "
+        "GROUP BY d.tag ORDER BY d.tag",
+        "SELECT id FROM f WHERE v > 90 ORDER BY id LIMIT 10",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("dop", [2, 4])
+    def test_parallel_matches_serial(self, star_db, query, dop):
+        serial = star_db.sql(query)
+        parallel = star_db.sql(query, dop=dop)
+        assert serial.columns == parallel.columns
+
+        def normalize(rows):
+            return sorted(
+                tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+                for row in rows
+            )
+
+        assert normalize(serial.rows) == normalize(parallel.rows)
+
+    def test_parallel_bitmap_pushdown_still_works(self, star_db):
+        query = (
+            "SELECT COUNT(*) AS n FROM f JOIN d ON f.dim_id = d.id "
+            "WHERE d.tag = 'tag1'"
+        )
+        assert star_db.sql(query, dop=3).rows == star_db.sql(query).rows
+
+    def test_explain_shows_exchange(self, star_db):
+        text = star_db.explain("SELECT COUNT(*) AS n FROM f", dop=4)
+        assert "BatchExchange(dop=4)" in text
+
+    def test_invalid_dop(self, star_db):
+        from repro.errors import PlanningError
+
+        with pytest.raises(PlanningError):
+            star_db.sql("SELECT COUNT(*) AS n FROM f", dop=0)

@@ -1,0 +1,279 @@
+"""Tests for expressions: vectorized vs row evaluation, NULL semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import types
+from repro.exec.batch import Batch
+from repro.exec.expressions import (
+    And,
+    Arithmetic,
+    Between,
+    Case,
+    Column,
+    Comparison,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    col,
+    compile_like,
+    lit,
+    predicate_mask,
+    predicate_true,
+)
+
+
+@pytest.fixture
+def batch():
+    return Batch.from_pydict(
+        {
+            "x": [1, 2, None, 4],
+            "y": [10.0, None, 30.0, 40.0],
+            "s": ["apple", "banana", "apricot", None],
+            "flag": [True, False, True, None],
+        }
+    )
+
+
+def rows_of(batch):
+    names = batch.names
+    return [dict(zip(names, row)) for row in batch.to_rows()]
+
+
+def check_consistency(expr, batch):
+    """Batch and row evaluation must agree on every row."""
+    values, nulls = expr.eval_batch(batch)
+    for i, row in enumerate(rows_of(batch)):
+        row_result = expr.eval_row(row)
+        if nulls is not None and nulls[i]:
+            assert row_result is None, f"row {i}: batch NULL but row {row_result!r}"
+        else:
+            batch_value = values[i]
+            batch_value = batch_value.item() if hasattr(batch_value, "item") else batch_value
+            assert row_result == pytest.approx(batch_value), f"row {i}"
+
+
+class TestBasics:
+    def test_column(self, batch):
+        values, nulls = col("x").eval_batch(batch)
+        assert values[0] == 1
+        assert nulls.tolist() == [False, False, True, False]
+
+    def test_literal(self, batch):
+        values, nulls = lit(7).eval_batch(batch)
+        assert (values == 7).all()
+        assert nulls is None
+
+    def test_null_literal(self, batch):
+        _, nulls = lit(None).eval_batch(batch)
+        assert nulls.all()
+
+    def test_string_literal(self, batch):
+        values, _ = lit("z").eval_batch(batch)
+        assert values.dtype == object
+
+
+class TestArithmetic:
+    def test_add(self, batch):
+        check_consistency(Arithmetic("+", col("x"), lit(1)), batch)
+
+    def test_multiply_columns(self, batch):
+        check_consistency(Arithmetic("*", col("x"), col("y")), batch)
+
+    def test_divide_by_zero_is_null(self, batch):
+        expr = Arithmetic("/", col("x"), lit(0))
+        _, nulls = expr.eval_batch(batch)
+        assert nulls.tolist() == [True, True, True, True]
+        assert expr.eval_row({"x": 5}) is None
+
+    def test_modulo(self, batch):
+        check_consistency(Arithmetic("%", col("x"), lit(3)), batch)
+
+    def test_null_propagates(self, batch):
+        expr = Arithmetic("+", col("x"), col("y"))
+        _, nulls = expr.eval_batch(batch)
+        assert nulls.tolist() == [False, True, True, False]
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_ops_consistent(self, batch, op):
+        check_consistency(Comparison(op, col("x"), lit(2)), batch)
+
+    def test_string_comparison(self, batch):
+        mask = predicate_mask(Comparison(">", col("s"), lit("apple")), batch)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_null_comparison_not_true(self, batch):
+        mask = predicate_mask(Comparison("=", col("x"), lit(1)), batch)
+        assert mask.tolist() == [True, False, False, False]
+
+
+class TestBooleans:
+    def test_and_kleene(self, batch):
+        # x > 0 AND y > 15: row1 (2, None) -> NULL; row2 (None, 30) -> NULL
+        expr = And(Comparison(">", col("x"), lit(0)), Comparison(">", col("y"), lit(15.0)))
+        check_consistency(expr, batch)
+        mask = predicate_mask(expr, batch)
+        assert mask.tolist() == [False, False, False, True]
+
+    def test_and_false_dominates_null(self):
+        b = Batch.from_pydict({"a": [None], "b": [5]})
+        expr = And(Comparison(">", col("b"), lit(10)), Comparison("=", col("a"), lit(1)))
+        values, nulls = expr.eval_batch(b)
+        # FALSE AND NULL = FALSE, not NULL.
+        assert nulls is None or not nulls[0]
+        assert not values[0]
+        assert expr.eval_row({"a": None, "b": 5}) is False
+
+    def test_or_true_dominates_null(self):
+        b = Batch.from_pydict({"a": [None], "b": [5]})
+        expr = Or(Comparison("<", col("b"), lit(10)), Comparison("=", col("a"), lit(1)))
+        values, nulls = expr.eval_batch(b)
+        assert values[0]
+        assert nulls is None or not nulls[0]
+        assert expr.eval_row({"a": None, "b": 5}) is True
+
+    def test_or_null_when_undetermined(self):
+        b = Batch.from_pydict({"a": [None]})
+        expr = Or(Comparison("=", col("a"), lit(1)), Comparison("=", col("a"), lit(2)))
+        assert expr.eval_row({"a": None}) is None
+        _, nulls = expr.eval_batch(b)
+        assert nulls[0]
+
+    def test_not(self, batch):
+        check_consistency(Not(Comparison(">", col("x"), lit(2))), batch)
+
+
+class TestSpecialPredicates:
+    def test_is_null(self, batch):
+        mask = predicate_mask(IsNull(col("x")), batch)
+        assert mask.tolist() == [False, False, True, False]
+
+    def test_is_not_null(self, batch):
+        mask = predicate_mask(IsNull(col("x"), negated=True), batch)
+        assert mask.tolist() == [True, True, False, True]
+
+    def test_between(self, batch):
+        check_consistency(Between(col("x"), lit(2), lit(4)), batch)
+
+    def test_in_list_ints(self, batch):
+        check_consistency(InList(col("x"), [1, 4]), batch)
+
+    def test_in_list_strings(self, batch):
+        mask = predicate_mask(InList(col("s"), ["apple", "apricot"]), batch)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_like(self, batch):
+        mask = predicate_mask(Like(col("s"), "ap%"), batch)
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_like_underscore(self, batch):
+        mask = predicate_mask(Like(col("s"), "_anana"), batch)
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_not_like(self, batch):
+        mask = predicate_mask(Like(col("s"), "ap%", negated=True), batch)
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_like_escapes_regex_chars(self):
+        assert compile_like("a.c").match("a.c")
+        assert not compile_like("a.c").match("abc")
+
+
+class TestCase:
+    def test_searched_case(self, batch):
+        expr = Case(
+            [
+                (Comparison("<", col("x"), lit(2)), lit("small")),
+                (Comparison("<", col("x"), lit(4)), lit("mid")),
+            ],
+            default=lit("big"),
+        )
+        values, nulls = expr.eval_batch(batch)
+        assert values[0] == "small"
+        assert values[1] == "mid"
+        assert values[3] == "big"
+        # Row with NULL x falls through to the default.
+        assert values[2] == "big"
+
+    def test_case_without_default_gives_null(self, batch):
+        expr = Case([(Comparison("<", col("x"), lit(2)), lit(1))])
+        _, nulls = expr.eval_batch(batch)
+        assert nulls.tolist() == [False, True, True, True]
+
+    def test_case_row_consistency(self, batch):
+        expr = Case(
+            [(Comparison(">", col("x"), lit(2)), Arithmetic("*", col("x"), lit(10)))],
+            default=lit(0),
+        )
+        check_consistency(expr, batch)
+
+
+class TestFunctions:
+    def test_year_month_day(self):
+        d = types.DATE.coerce("2024-03-15")
+        b = Batch.from_pydict({"d": [d]}, dtypes={"d": np.dtype(np.int32)})
+        assert FunctionCall("year", col("d")).eval_batch(b)[0][0] == 2024
+        assert FunctionCall("month", col("d")).eval_batch(b)[0][0] == 3
+        assert FunctionCall("day", col("d")).eval_batch(b)[0][0] == 15
+        assert FunctionCall("year", col("d")).eval_row({"d": d}) == 2024
+
+    def test_pre_epoch_dates(self):
+        d = types.DATE.coerce("1965-07-04")
+        b = Batch.from_pydict({"d": [d]}, dtypes={"d": np.dtype(np.int32)})
+        assert FunctionCall("year", col("d")).eval_batch(b)[0][0] == 1965
+        assert FunctionCall("month", col("d")).eval_batch(b)[0][0] == 7
+
+    def test_string_functions(self, batch):
+        upper, _ = FunctionCall("upper", col("s")).eval_batch(batch)
+        assert upper[0] == "APPLE"
+        length, _ = FunctionCall("length", col("s")).eval_batch(batch)
+        assert length[1] == 6
+
+    def test_abs(self):
+        b = Batch.from_pydict({"v": [-3, 4]})
+        values, _ = FunctionCall("abs", col("v")).eval_batch(b)
+        assert values.tolist() == [3, 4]
+
+    def test_referenced_columns(self):
+        expr = And(
+            Comparison("=", col("a"), lit(1)),
+            Or(Comparison("<", col("b"), col("c")), IsNull(col("a"))),
+        )
+        assert expr.referenced_columns() == {"a", "b", "c"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(-100, 100)),
+            st.one_of(st.none(), st.integers(-100, 100)),
+        ),
+        min_size=1,
+        max_size=50,
+    ),
+    st.integers(-100, 100),
+)
+def test_predicate_batch_row_equivalence(pairs, threshold):
+    """predicate_mask and predicate_true agree on arbitrary data."""
+    batch = Batch.from_pydict(
+        {"a": [p[0] for p in pairs], "b": [p[1] for p in pairs]}
+    )
+    expr = Or(
+        And(
+            Comparison(">", col("a"), lit(threshold)),
+            Comparison("<=", col("b"), lit(threshold)),
+        ),
+        IsNull(col("b")),
+    )
+    mask = predicate_mask(expr, batch)
+    for i, (a, b) in enumerate(pairs):
+        assert mask[i] == predicate_true(expr, {"a": a, "b": b})

@@ -1,0 +1,65 @@
+"""Tests for the row-store index-seek access path."""
+
+import pytest
+
+from repro import Database, schema, types
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "orders",
+        schema(("id", types.INT, False), ("cust", types.VARCHAR), ("v", types.FLOAT)),
+        storage="rowstore",
+    )
+    database.insert("orders", [(i, f"c{i % 10}", float(i)) for i in range(500)])
+    database.table("orders").create_index("by_id", ["id"])
+    return database
+
+
+class TestIndexSeekSelection:
+    def test_equality_uses_seek(self, db):
+        plan = db.explain("SELECT v FROM orders WHERE id = 250", mode="row")
+        assert "RowIndexSeek" in plan
+        assert db.sql("SELECT v FROM orders WHERE id = 250").rows == [(250.0,)]
+
+    def test_range_uses_seek(self, db):
+        plan = db.explain("SELECT id FROM orders WHERE id BETWEEN 10 AND 14", mode="row")
+        assert "RowIndexSeek" in plan
+        result = db.sql("SELECT id FROM orders WHERE id BETWEEN 10 AND 14 ORDER BY id")
+        assert [r[0] for r in result.rows] == [10, 11, 12, 13, 14]
+
+    def test_open_ended_range(self, db):
+        result = db.sql("SELECT COUNT(*) AS n FROM orders WHERE id >= 495")
+        assert result.scalar() == 5
+
+    def test_unindexed_predicate_scans(self, db):
+        plan = db.explain("SELECT id FROM orders WHERE cust = 'c3'", mode="row")
+        assert "RowTableScan" in plan
+        assert "RowIndexSeek" not in plan
+
+    def test_residual_predicate_applied(self, db):
+        result = db.sql(
+            "SELECT id FROM orders WHERE id BETWEEN 0 AND 100 AND cust = 'c3' ORDER BY id"
+        )
+        assert [r[0] for r in result.rows] == [3, 13, 23, 33, 43, 53, 63, 73, 83, 93]
+
+    def test_no_predicate_scans(self, db):
+        plan = db.explain("SELECT COUNT(*) AS n FROM orders", mode="row")
+        assert "RowIndexSeek" not in plan
+
+    def test_seek_sees_deletes(self, db):
+        db.sql("DELETE FROM orders WHERE id = 42")
+        assert db.sql("SELECT COUNT(*) AS n FROM orders WHERE id = 42").scalar() == 0
+
+    def test_seek_sees_updates(self, db):
+        db.sql("UPDATE orders SET v = 999.0 WHERE id = 7")
+        assert db.sql("SELECT v FROM orders WHERE id = 7").scalar() == 999.0
+
+    def test_seek_matches_scan_results(self, db):
+        sql = "SELECT id, cust FROM orders WHERE id BETWEEN 100 AND 200"
+        with_index = sorted(db.sql(sql).rows)
+        db.table("orders").indexes.clear()
+        without_index = sorted(db.sql(sql).rows)
+        assert with_index == without_index

@@ -1,0 +1,177 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast as A
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statement
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.kind == "keyword" and t.text == "select" for t in tokens[:-1])
+
+    def test_identifiers(self):
+        tokens = tokenize("foo _bar baz_9")
+        assert [t.text for t in tokens[:-1]] == ["foo", "_bar", "baz_9"]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5E-2")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", "1e3", "2.5E-2"]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "string"
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = tokenize("<= >= != <> = < >")
+        assert [t.text for t in tokens[:-1]] == ["<=", ">=", "!=", "!=", "=", "<", ">"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment here\n 1")
+        assert [t.text for t in tokens[:-1]] == ["select", "1"]
+
+    def test_quoted_identifiers(self):
+        tokens = tokenize('"Group"')
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "Group"
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+
+class TestParseSelect:
+    def test_simple(self):
+        stmt = parse_statement("SELECT a, b FROM t")
+        assert isinstance(stmt, A.SelectStatement)
+        assert len(stmt.items) == 2
+        assert stmt.from_table.table == "t"
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert stmt.star
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_table.alias == "u"
+
+    def test_where_precedence(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, A.EBinary)
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_statement("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_join(self):
+        stmt = parse_statement(
+            "SELECT * FROM f JOIN d ON f.k = d.id LEFT JOIN e ON e.x = f.y"
+        )
+        assert len(stmt.joins) == 2
+        assert stmt.joins[0].join_type == "inner"
+        assert stmt.joins[1].join_type == "left"
+        a, b = stmt.joins[0].conditions[0]
+        assert (a.qualifier, a.name) == ("f", "k")
+
+    def test_group_having_order_limit(self):
+        stmt = parse_statement(
+            "SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING COUNT(*) > 1 "
+            "ORDER BY n DESC, g LIMIT 10"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0][1] is True
+        assert stmt.order_by[1][1] is False
+        assert stmt.limit == 10
+
+    def test_between_in_like_isnull(self):
+        stmt = parse_statement(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2) "
+            "AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN ('q')"
+        )
+        text = str(stmt.where)
+        assert "and" in text
+
+    def test_case(self):
+        stmt = parse_statement(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t"
+        )
+        expr = stmt.items[0].expr
+        assert isinstance(expr, A.ECase)
+        assert expr.default is not None
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT SUM(*) FROM t")
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_negative_numbers(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a > -5")
+        assert stmt.where.right.value == -5
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t extra garbage ; nonsense")
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t LIMIT 2.5")
+
+
+class TestParseOtherStatements:
+    def test_insert(self):
+        stmt = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)"
+        )
+        assert isinstance(stmt, A.InsertStatement)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1)")
+        assert stmt.columns is None
+
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT NOT NULL, b VARCHAR(10), c DECIMAL(10,2), d DATE) "
+            "USING rowstore"
+        )
+        assert isinstance(stmt, A.CreateTableStatement)
+        assert stmt.columns[0] == ("a", "int", [], False)
+        assert stmt.columns[1] == ("b", "varchar", [10], True)
+        assert stmt.columns[2] == ("c", "decimal", [10, 2], True)
+        assert stmt.storage == "rowstore"
+
+    def test_drop(self):
+        stmt = parse_statement("DROP TABLE t")
+        assert isinstance(stmt, A.DropTableStatement)
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, A.DeleteStatement)
+        assert stmt.where is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+        assert isinstance(stmt, A.UpdateStatement)
+        assert len(stmt.assignments) == 2
+
+    def test_unknown_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("VACUUM t")

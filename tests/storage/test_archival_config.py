@@ -1,0 +1,69 @@
+"""Tests for config-driven archival loading and remaining config knobs."""
+
+import numpy as np
+import pytest
+
+from repro import Database, StoreConfig, schema, types
+from repro.errors import StorageError
+from repro.storage.columnstore import ColumnStoreIndex
+
+
+class TestArchivalConfig:
+    def test_loader_archives_when_configured(self):
+        sch = schema(("a", types.INT, False), ("s", types.VARCHAR, False))
+        index = ColumnStoreIndex(
+            sch, StoreConfig(rowgroup_size=100, bulk_load_threshold=10, archival=True)
+        )
+        index.bulk_load([(i, f"v{i % 4}") for i in range(200)])
+        for group in index.directory.row_groups():
+            assert group.archived
+        # Data still scans correctly.
+        total = sum(1 for _ in index._iter_live_rows())
+        assert total == 200
+
+    def test_tuple_mover_respects_archival_config(self):
+        sch = schema(("a", types.INT, False))
+        index = ColumnStoreIndex(
+            sch,
+            StoreConfig(
+                rowgroup_size=50, bulk_load_threshold=1000,
+                delta_close_rows=50, archival=True,
+            ),
+        )
+        from repro.storage.tuple_mover import TupleMover
+
+        index.insert_many([(i,) for i in range(60)])
+        TupleMover(index).run()
+        groups = list(index.directory.row_groups())
+        assert groups and all(g.archived for g in groups)
+
+
+class TestConfigValidation:
+    def test_bad_rowgroup_size(self):
+        with pytest.raises(StorageError):
+            StoreConfig(rowgroup_size=0)
+
+    def test_bad_bulk_threshold(self):
+        with pytest.raises(StorageError):
+            StoreConfig(bulk_load_threshold=0)
+
+    def test_bad_delta_close(self):
+        with pytest.raises(StorageError):
+            StoreConfig(delta_close_rows=0)
+
+    def test_effective_delta_close_defaults_to_rowgroup(self):
+        config = StoreConfig(rowgroup_size=123)
+        assert config.effective_delta_close_rows == 123
+        assert StoreConfig(delta_close_rows=7).effective_delta_close_rows == 7
+
+
+class TestArchivalEndToEnd:
+    def test_archived_db_queries_and_dml(self):
+        db = Database(StoreConfig(rowgroup_size=64, bulk_load_threshold=10, archival=True))
+        db.sql("CREATE TABLE t (a INT NOT NULL, s VARCHAR)")
+        db.bulk_load("t", [(i, f"x{i % 3}") for i in range(200)])
+        assert db.sql("SELECT COUNT(*) AS n FROM t WHERE s = 'x1'").scalar() > 0
+        db.sql("DELETE FROM t WHERE a < 50")
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 150
+        db.rebuild("t")
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 150

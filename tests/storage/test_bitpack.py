@@ -1,0 +1,95 @@
+"""Tests for bit packing, including round-trip property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.storage import bitpack
+
+
+class TestBitsNeeded:
+    def test_zero(self):
+        assert bitpack.bits_needed(0) == 0
+
+    def test_one(self):
+        assert bitpack.bits_needed(1) == 1
+
+    def test_powers(self):
+        assert bitpack.bits_needed(255) == 8
+        assert bitpack.bits_needed(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            bitpack.bits_needed(-1)
+
+
+class TestPackUnpack:
+    def test_empty(self):
+        assert bitpack.pack(np.array([], dtype=np.uint64), 5) == b""
+        assert bitpack.unpack(b"", 5, 0).size == 0
+
+    def test_width_zero_all_zeros(self):
+        payload = bitpack.pack(np.zeros(10, dtype=np.uint64), 0)
+        assert payload == b""
+        assert (bitpack.unpack(payload, 0, 10) == 0).all()
+
+    def test_width_zero_rejects_nonzero(self):
+        with pytest.raises(EncodingError):
+            bitpack.pack(np.array([0, 1], dtype=np.uint64), 0)
+
+    def test_value_exceeding_width_rejected(self):
+        with pytest.raises(EncodingError):
+            bitpack.pack(np.array([8], dtype=np.uint64), 3)
+
+    def test_simple_roundtrip(self):
+        values = np.array([0, 1, 2, 3, 7, 5], dtype=np.uint64)
+        payload = bitpack.pack(values, 3)
+        assert len(payload) == bitpack.packed_size_bytes(6, 3)
+        assert (bitpack.unpack(payload, 3, 6) == values).all()
+
+    def test_non_byte_aligned_width(self):
+        values = np.array([1000, 0, 523, 1023], dtype=np.uint64)
+        payload = bitpack.pack(values, 10)
+        assert (bitpack.unpack(payload, 10, 4) == values).all()
+
+    def test_truncated_payload_detected(self):
+        payload = bitpack.pack(np.arange(100, dtype=np.uint64), 7)
+        with pytest.raises(EncodingError):
+            bitpack.unpack(payload[:-5], 7, 100)
+
+    def test_2d_rejected(self):
+        with pytest.raises(EncodingError):
+            bitpack.pack(np.zeros((2, 2), dtype=np.uint64), 4)
+
+    def test_width_over_64_rejected(self):
+        with pytest.raises(EncodingError):
+            bitpack.pack(np.array([1], dtype=np.uint64), 65)
+
+    def test_full_64_bit_values(self):
+        values = np.array([2**64 - 1, 0, 2**63], dtype=np.uint64)
+        payload = bitpack.pack(values, 64)
+        assert (bitpack.unpack(payload, 64, 3) == values).all()
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**40 - 1), max_size=300),
+)
+def test_roundtrip_property(values):
+    arr = np.array(values, dtype=np.uint64)
+    width = bitpack.bits_needed(int(arr.max()) if arr.size else 0)
+    payload = bitpack.pack(arr, width)
+    assert len(payload) == bitpack.packed_size_bytes(arr.size, width)
+    recovered = bitpack.unpack(payload, width, arr.size)
+    assert (recovered == arr).all()
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200),
+    st.integers(min_value=8, max_value=16),
+)
+def test_wider_width_still_roundtrips(values, width):
+    arr = np.array(values, dtype=np.uint64)
+    payload = bitpack.pack(arr, width)
+    assert (bitpack.unpack(payload, width, arr.size) == arr).all()

@@ -1,0 +1,178 @@
+"""Tests for the B+tree, including a model-based hypothesis suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert tree.min_key() is None
+        assert list(tree.items()) == []
+
+    def test_insert_get(self):
+        tree = BPlusTree()
+        tree.insert(5, "five")
+        tree.insert(1, "one")
+        assert tree.get(5) == "five"
+        assert tree.get(1) == "one"
+        assert tree.get(3, "default") == "default"
+
+    def test_insert_replaces(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree) == 1
+        assert tree.get(1) == "b"
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.insert(1, None)  # None value must still count as present
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_order_too_small(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=2)
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in [9, 2, 7, 1, 8, 3]:
+            tree.insert(key, key * 10)
+        assert [k for k, _ in tree.items()] == [1, 2, 3, 7, 8, 9]
+
+    def test_splits_create_depth(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        assert tree.depth() > 1
+        assert [k for k, _ in tree.items()] == list(range(100))
+        tree.check_invariants()
+
+
+class TestDelete:
+    def test_delete_missing(self):
+        tree = BPlusTree()
+        assert tree.delete(42) is False
+
+    def test_delete_present(self):
+        tree = BPlusTree()
+        tree.insert(1, "x")
+        assert tree.delete(1) is True
+        assert len(tree) == 0
+        assert 1 not in tree
+
+    def test_delete_all_descending(self):
+        tree = BPlusTree(order=4)
+        for key in range(200):
+            tree.insert(key, key)
+        for key in reversed(range(200)):
+            assert tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_delete_all_ascending(self):
+        tree = BPlusTree(order=4)
+        for key in range(200):
+            tree.insert(key, key)
+        for key in range(200):
+            assert tree.delete(key)
+        assert list(tree.items()) == []
+
+    def test_interleaved(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 2):
+            tree.insert(key, key)
+        for key in range(0, 100, 4):
+            assert tree.delete(key)
+        tree.check_invariants()
+        remaining = [k for k, _ in tree.items()]
+        assert remaining == [k for k in range(0, 100, 2) if k % 4 != 0]
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 10):
+            tree.insert(key, f"v{key}")
+        return tree
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range())) == 10
+
+    def test_bounded(self, tree):
+        keys = [k for k, _ in tree.range(20, 50)]
+        assert keys == [20, 30, 40, 50]
+
+    def test_exclusive_bounds(self, tree):
+        keys = [k for k, _ in tree.range(20, 50, low_inclusive=False, high_inclusive=False)]
+        assert keys == [30, 40]
+
+    def test_bounds_between_keys(self, tree):
+        keys = [k for k, _ in tree.range(15, 45)]
+        assert keys == [20, 30, 40]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(41, 49)) == []
+
+    def test_open_low(self, tree):
+        keys = [k for k, _ in tree.range(None, 25)]
+        assert keys == [0, 10, 20]
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert(("a", 1), "a1")
+        tree.insert(("a", 2), "a2")
+        tree.insert(("b", 1), "b1")
+        keys = [k for k, _ in tree.range(("a", 0), ("a", 99))]
+        assert keys == [("a", 1), ("a", 2)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=300,
+    ),
+    st.sampled_from([4, 5, 8, 16]),
+)
+def test_model_based_property(operations, order):
+    """The tree must behave exactly like a dict, for any operation sequence."""
+    tree = BPlusTree(order=order)
+    model: dict[int, int] = {}
+    for op, key in operations:
+        if op == "insert":
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(tree) == len(model)
+    assert dict(tree.items()) == model
+    assert [k for k, _ in tree.items()] == sorted(model)
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=1000), max_size=200),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_range_matches_model(keys, a, b):
+    low, high = min(a, b), max(a, b)
+    tree = BPlusTree(order=8)
+    for key in keys:
+        tree.insert(key, None)
+    got = [k for k, _ in tree.range(low, high)]
+    assert got == sorted(k for k in keys if low <= k <= high)

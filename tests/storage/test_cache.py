@@ -1,0 +1,115 @@
+"""Tests for the decoded-segment LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro import Database, StoreConfig, schema, types
+from repro.storage.cache import SegmentCache
+from repro.storage.segment import encode_segment
+
+
+def make_segment(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    return encode_segment(types.INT, rng.integers(0, 50, n).astype(np.int32))
+
+
+class TestSegmentCache:
+    def test_hit_after_miss(self):
+        cache = SegmentCache(capacity_bytes=1 << 20)
+        segment = make_segment()
+        first, _ = cache.decode(segment)
+        second, _ = cache.decode(segment)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert first is second  # same cached array
+
+    def test_distinct_segments_miss(self):
+        cache = SegmentCache(capacity_bytes=1 << 20)
+        cache.decode(make_segment(seed=1))
+        cache.decode(make_segment(seed=2))
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+
+    def test_eviction_lru_order(self):
+        segments = [make_segment(seed=i) for i in range(4)]
+        one_size = segments[0].row_count * 4  # int32 decoded bytes
+        cache = SegmentCache(capacity_bytes=one_size * 2)
+        for segment in segments[:2]:
+            cache.decode(segment)
+        cache.decode(segments[0])  # touch 0, making 1 the LRU
+        cache.decode(segments[2])  # evicts 1
+        assert cache.stats.evictions == 1
+        cache.decode(segments[0])
+        assert cache.stats.hits == 2  # 0 still cached
+
+    def test_oversized_segment_not_cached(self):
+        cache = SegmentCache(capacity_bytes=16)
+        segment = make_segment()
+        cache.decode(segment)
+        assert len(cache) == 0
+        values, _ = cache.decode(segment)
+        assert values.shape[0] == segment.row_count  # still decodes correctly
+
+    def test_clear(self):
+        cache = SegmentCache(capacity_bytes=1 << 20)
+        cache.decode(make_segment())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_correctness_through_cache(self):
+        cache = SegmentCache(capacity_bytes=1 << 20)
+        segment = make_segment(seed=5)
+        direct, _ = segment.decode()
+        cached, _ = cache.decode(segment)
+        assert (direct == cached).all()
+
+
+class TestCacheIntegration:
+    @pytest.fixture
+    def db(self):
+        database = Database(
+            StoreConfig(
+                rowgroup_size=256,
+                bulk_load_threshold=100,
+                segment_cache_bytes=1 << 20,
+            )
+        )
+        database.sql("CREATE TABLE t (a INT NOT NULL, s VARCHAR)")
+        database.bulk_load("t", [(i, f"v{i % 7}") for i in range(2000)])
+        return database
+
+    def test_repeated_scans_hit(self, db):
+        cache = db.table("t").columnstore.segment_cache
+        db.sql("SELECT SUM(a) AS s FROM t")
+        misses_after_first = cache.stats.misses
+        db.sql("SELECT SUM(a) AS s FROM t")
+        assert cache.stats.misses == misses_after_first
+        assert cache.stats.hits > 0
+
+    def test_results_identical_with_and_without_cache(self, db):
+        cold = Database(StoreConfig(rowgroup_size=256, bulk_load_threshold=100))
+        cold.sql("CREATE TABLE t (a INT NOT NULL, s VARCHAR)")
+        cold.bulk_load("t", [(i, f"v{i % 7}") for i in range(2000)])
+        sql = "SELECT s, COUNT(*) AS n, SUM(a) AS sa FROM t GROUP BY s ORDER BY s"
+        assert db.sql(sql).rows == cold.sql(sql).rows
+
+    def test_rebuild_produces_new_segments(self, db):
+        """REBUILD swaps segment objects, so stale entries cannot be hit."""
+        index = db.table("t").columnstore
+        db.sql("SELECT SUM(a) AS s FROM t")
+        old_ids = {
+            id(group.segment("a")) for group in index.directory.row_groups()
+        }
+        db.sql("DELETE FROM t WHERE a < 100")
+        db.rebuild("t")
+        new_ids = {
+            id(group.segment("a")) for group in index.directory.row_groups()
+        }
+        assert not (old_ids & new_ids)
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 1900
+
+    def test_disabled_by_default(self):
+        database = Database()
+        database.sql("CREATE TABLE t (a INT)")
+        assert database.table("t").columnstore.segment_cache is None

@@ -1,0 +1,220 @@
+"""Tests for the updatable columnstore index: delta stores, delete bitmap,
+tuple mover, bulk load, rebuild and archival."""
+
+import numpy as np
+import pytest
+
+from repro import types
+from repro.errors import StorageError
+from repro.schema import schema
+from repro.storage.columnstore import DELTA, GROUP, ColumnStoreIndex, RowLocator
+from repro.storage.config import StoreConfig
+from repro.storage.tuple_mover import TupleMover
+
+
+@pytest.fixture
+def sch():
+    return schema(("id", types.INT, False), ("name", types.VARCHAR), ("v", types.FLOAT))
+
+
+@pytest.fixture
+def small_config():
+    return StoreConfig(rowgroup_size=50, bulk_load_threshold=40, delta_close_rows=20)
+
+
+@pytest.fixture
+def index(sch, small_config):
+    return ColumnStoreIndex(sch, small_config)
+
+
+def make_rows(sch, n, start=0):
+    return [sch.coerce_row((start + i, f"n{(start + i) % 5}", float(i))) for i in range(n)]
+
+
+class TestTrickleInsert:
+    def test_insert_goes_to_delta(self, index, sch):
+        locator = index.insert(sch.coerce_row((1, "a", 1.0)))
+        assert locator.kind == DELTA
+        assert index.delta_rows == 1
+        assert index.compressed_rows == 0
+
+    def test_delta_closes_at_threshold(self, index, sch):
+        index.insert_many(make_rows(sch, 20))
+        deltas = index.delta_stores()
+        assert len(deltas) == 1
+        assert not deltas[0].is_open
+
+    def test_new_delta_opens_after_close(self, index, sch):
+        index.insert_many(make_rows(sch, 25))
+        deltas = index.delta_stores()
+        assert len(deltas) == 2
+        assert not deltas[0].is_open
+        assert deltas[1].is_open
+        assert index.delta_rows == 25
+
+    def test_get_row(self, index, sch):
+        locator = index.insert(sch.coerce_row((7, "x", 2.5)))
+        assert index.get_row(locator) == (7, "x", 2.5)
+
+
+class TestBulkLoad:
+    def test_large_load_compresses_directly(self, index, sch):
+        index.bulk_load(make_rows(sch, 120))
+        assert index.compressed_rows == 120
+        assert index.delta_rows == 0
+        assert len(index.directory) == 3  # 120 rows / 50-row groups
+
+    def test_small_load_goes_to_delta(self, index, sch):
+        index.bulk_load(make_rows(sch, 10))
+        assert index.compressed_rows == 0
+        assert index.delta_rows == 10
+
+    def test_columnar_load(self, index):
+        columns = {
+            "id": np.arange(60, dtype=np.int32),
+            "name": np.array(["a"] * 60, dtype=object),
+            "v": np.ones(60),
+        }
+        index.bulk_load_columns(columns)
+        assert index.compressed_rows == 60
+
+
+class TestDelete:
+    def test_delete_compressed_row_marks_bitmap(self, index, sch):
+        index.bulk_load(make_rows(sch, 50))
+        group = next(index.directory.row_groups())
+        assert index.delete(RowLocator(GROUP, group.group_id, 3))
+        assert index.delete_bitmap.is_deleted(group.group_id, 3)
+        assert index.live_rows == 49
+
+    def test_double_delete_returns_false(self, index, sch):
+        index.bulk_load(make_rows(sch, 50))
+        group = next(index.directory.row_groups())
+        locator = RowLocator(GROUP, group.group_id, 0)
+        assert index.delete(locator)
+        assert not index.delete(locator)
+
+    def test_delete_delta_row_in_place(self, index, sch):
+        locator = index.insert(sch.coerce_row((1, "a", 1.0)))
+        assert index.delete(locator)
+        assert index.delta_rows == 0
+        assert index.get_row(locator) is None
+
+    def test_delete_bad_position_raises(self, index, sch):
+        index.bulk_load(make_rows(sch, 50))
+        group = next(index.directory.row_groups())
+        with pytest.raises(StorageError):
+            index.delete(RowLocator(GROUP, group.group_id, 999))
+
+    def test_deleted_compressed_row_unreadable(self, index, sch):
+        index.bulk_load(make_rows(sch, 50))
+        group = next(index.directory.row_groups())
+        locator = RowLocator(GROUP, group.group_id, 2)
+        assert index.get_row(locator) is not None
+        index.delete(locator)
+        assert index.get_row(locator) is None
+
+
+class TestUpdate:
+    def test_update_is_delete_plus_insert(self, index, sch):
+        old = index.insert(sch.coerce_row((1, "old", 1.0)))
+        new = index.update(old, sch.coerce_row((1, "new", 2.0)))
+        assert index.get_row(old) is None
+        assert index.get_row(new) == (1, "new", 2.0)
+        assert index.live_rows == 1
+
+    def test_update_deleted_row_raises(self, index, sch):
+        locator = index.insert(sch.coerce_row((1, "a", 1.0)))
+        index.delete(locator)
+        with pytest.raises(StorageError):
+            index.update(locator, sch.coerce_row((1, "b", 2.0)))
+
+
+class TestTupleMover:
+    def test_moves_closed_deltas(self, index, sch):
+        index.insert_many(make_rows(sch, 45))  # two closed (20+20), one open (5)
+        report = TupleMover(index).run()
+        assert report.delta_stores_compressed == 2
+        assert report.rows_moved == 40
+        assert index.compressed_rows == 40
+        assert index.delta_rows == 5
+
+    def test_include_open(self, index, sch):
+        index.insert_many(make_rows(sch, 5))
+        report = TupleMover(index).run(include_open=True)
+        assert report.rows_moved == 5
+        assert index.delta_rows == 0
+        assert index.live_rows == 5
+
+    def test_deleted_delta_rows_not_moved(self, index, sch):
+        locators = index.insert_many(make_rows(sch, 20))  # closes exactly
+        # Delete from the *closed* delta store before the mover runs.
+        index._delta_stores[locators[0].container_id].delete(locators[0].position)
+        report = TupleMover(index).run()
+        assert report.rows_moved == 19
+        assert index.live_rows == 19
+
+    def test_noop_when_nothing_closed(self, index, sch):
+        index.insert_many(make_rows(sch, 3))
+        report = TupleMover(index).run()
+        assert report.delta_stores_compressed == 0
+
+
+class TestRebuild:
+    def test_rebuild_drops_deleted_rows(self, index, sch):
+        index.bulk_load(make_rows(sch, 100))
+        group = next(index.directory.row_groups())
+        for position in range(10):
+            index.delete(RowLocator(GROUP, group.group_id, position))
+        index.rebuild()
+        assert index.live_rows == 90
+        assert index.compressed_rows == 90
+        assert index.delete_bitmap.total_deleted == 0
+
+    def test_rebuild_folds_delta_stores(self, index, sch):
+        index.bulk_load(make_rows(sch, 50))
+        index.insert_many(make_rows(sch, 7, start=1000))
+        index.rebuild()
+        assert index.delta_rows == 0
+        assert index.compressed_rows == 57
+
+    def test_rebuild_empty_index(self, index):
+        index.rebuild()
+        assert index.live_rows == 0
+
+
+class TestArchival:
+    def test_archive_toggles(self, index, sch):
+        index.bulk_load(make_rows(sch, 50))
+        plain_size = index.size_bytes
+        index.archive()
+        for group in index.directory.row_groups():
+            assert group.archived
+        index.unarchive()
+        for group in index.directory.row_groups():
+            assert not group.archived
+        assert index.size_bytes == plain_size
+
+    def test_archived_data_still_scans(self, index, sch):
+        rows = make_rows(sch, 50)
+        index.bulk_load(rows)
+        index.archive()
+        live = sorted(index._iter_live_rows())
+        assert len(live) == 50
+        assert live[0][0] == 0
+
+
+class TestAccounting:
+    def test_fraction_in_delta(self, index, sch):
+        index.bulk_load(make_rows(sch, 60))
+        index.insert_many(make_rows(sch, 15, start=500))
+        assert index.fraction_in_delta == pytest.approx(15 / 75)
+
+    def test_scan_units_cover_everything(self, index, sch):
+        index.bulk_load(make_rows(sch, 60))
+        index.insert_many(make_rows(sch, 5, start=500))
+        units = list(index.scan_units())
+        group_units = [u for u in units if u.kind == GROUP]
+        delta_units = [u for u in units if u.kind == DELTA]
+        assert sum(u.group.row_count for u in group_units) == 60
+        assert sum(u.delta.row_count for u in delta_units) == 5

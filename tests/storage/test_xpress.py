@@ -1,0 +1,87 @@
+"""Tests for the archival (LZ77) codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.storage import xpress
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert xpress.decompress(xpress.compress(b"")) == b""
+
+    def test_short_literal_only(self):
+        data = b"abc"
+        assert xpress.decompress(xpress.compress(data)) == data
+
+    def test_repetitive_shrinks(self):
+        data = b"hello world " * 500
+        compressed = xpress.compress(data)
+        assert len(compressed) < len(data) // 5
+        assert xpress.decompress(compressed) == data
+
+    def test_overlapping_match(self):
+        # A run of one byte exercises offset < match_len copying.
+        data = b"a" * 1000
+        compressed = xpress.compress(data)
+        assert xpress.decompress(compressed) == data
+        assert len(compressed) < 30
+
+    def test_incompressible_data_roundtrips(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=4096, dtype=np.uint8).tobytes()
+        compressed = xpress.compress(data)
+        assert xpress.decompress(compressed) == data
+        # Random bytes should not shrink (modest expansion allowed).
+        assert len(compressed) <= len(data) * 1.1 + 16
+
+    def test_long_literal_run_extension(self):
+        # > 15 literals forces length-extension bytes.
+        data = bytes(range(200))
+        assert xpress.decompress(xpress.compress(data)) == data
+
+    def test_long_match_extension(self):
+        data = b"x" * 20 + b"unique" + b"x" * 300
+        assert xpress.decompress(xpress.compress(data)) == data
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(EncodingError):
+            xpress.decompress(b"NOPE" + b"\x00" * 10)
+
+    def test_truncated(self):
+        compressed = xpress.compress(b"hello world " * 10)
+        with pytest.raises(EncodingError):
+            xpress.decompress(compressed[: len(compressed) // 2])
+
+    def test_too_short(self):
+        with pytest.raises(EncodingError):
+            xpress.decompress(b"XPR1")
+
+
+class TestRatio:
+    def test_ratio_one_for_empty(self):
+        assert xpress.compression_ratio(b"") == 1.0
+
+    def test_ratio_above_one_for_runs(self):
+        assert xpress.compression_ratio(b"z" * 10_000) > 50
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=2000))
+def test_roundtrip_property(data):
+    assert xpress.decompress(xpress.compress(data)) == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.binary(min_size=1, max_size=64),
+    st.integers(min_value=1, max_value=200),
+)
+def test_repeated_blocks_roundtrip(block, repeats):
+    data = block * repeats
+    assert xpress.decompress(xpress.compress(data)) == data
