@@ -15,6 +15,7 @@ from repro.bench.harness import ReportTable, time_call
 from repro.bench.star_schema import build_star_schema
 from repro.exec.expressions import Between, col, lit
 from repro.exec.operators.scan import ColumnStoreScan
+from repro.observability import get_registry, snapshot_delta
 from repro.storage.config import StoreConfig
 
 import pytest
@@ -32,10 +33,13 @@ SWEEP = [
 
 @pytest.fixture(scope="module")
 def star():
-    # Row groups of 16k rows model a many-row-group fact table at bench
-    # scale (the paper's tables have thousands of 2^20-row groups).
-    config = StoreConfig(rowgroup_size=16_384)
-    return build_star_schema(scaled(200_000), storage="columnstore", seed=2, config=config)
+    # A dozen or so row groups model a many-row-group fact table at any
+    # REPRO_BENCH_SCALE (the paper's tables have thousands of 2^20-row
+    # groups); the low bulk-load threshold keeps reduced-scale runs on
+    # the compressed path instead of in delta stores.
+    rows = scaled(200_000)
+    config = StoreConfig(rowgroup_size=max(1024, rows // 12), bulk_load_threshold=1000)
+    return build_star_schema(rows, storage="columnstore", seed=2, config=config)
 
 
 def scan_once(index, low, high, eliminate):
@@ -54,18 +58,24 @@ def scan_once(index, low, high, eliminate):
 def run_sweep(star) -> list[dict]:
     index = star.db.table("store_sales").columnstore
     results = []
+    registry = get_registry()
     for label, (low, high) in SWEEP:
+        before = registry.snapshot()
         scan_on, rows_on = scan_once(index, low, high, True)
+        counters = snapshot_delta(before, registry.snapshot())
         timing_on = time_call(lambda: scan_once(index, low, high, True), repeat=3)
         timing_off = time_call(lambda: scan_once(index, low, high, False), repeat=3)
         _, rows_off = scan_once(index, low, high, False)
         assert rows_on == rows_off, "elimination must not change results"
+        # The engine-level counter must agree with the operator's own stats.
+        eliminated = counters.get("storage.scan.units_eliminated", 0)
+        assert eliminated == scan_on.stats.units_eliminated
         results.append(
             {
                 "label": label,
                 "rows": rows_on,
-                "eliminated": scan_on.stats.units_eliminated,
-                "total_units": scan_on.stats.units_seen,
+                "eliminated": eliminated,
+                "total_units": counters.get("storage.scan.units_seen", 0),
                 "on_ms": timing_on.seconds * 1000,
                 "off_ms": timing_off.seconds * 1000,
             }

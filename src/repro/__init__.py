@@ -23,6 +23,7 @@ from . import types
 from .db.catalog import StorageKind, Table
 from .db.database import Database, Result
 from .errors import ReproError
+from .observability import ExecutionStats, MetricsRegistry, get_registry
 from .schema import ColumnDef, TableSchema, schema
 from .storage.columnstore import ColumnStoreIndex
 from .storage.config import StoreConfig
@@ -33,12 +34,15 @@ __all__ = [
     "ColumnDef",
     "ColumnStoreIndex",
     "Database",
+    "ExecutionStats",
+    "MetricsRegistry",
     "ReproError",
     "Result",
     "StorageKind",
     "StoreConfig",
     "Table",
     "TableSchema",
+    "get_registry",
     "schema",
     "types",
 ]

@@ -45,6 +45,21 @@ def time_query(db: Database, sql: str, mode: str = "auto", repeat: int = 3, **op
     return time_call(lambda: db.sql(sql, mode=mode, **options), repeat=repeat)
 
 
+def query_stats(db: Database, sql: str, mode: str = "auto", **options) -> dict[str, Any]:
+    """Run a query with runtime stats collection and return a flat dict.
+
+    The dict is :meth:`repro.observability.ExecutionStats.to_dict` output:
+    elapsed/rows/mode at the top level, per-operator actuals under
+    ``operators``, and engine counter deltas under ``counters``. Benchmarks
+    assert effects (segment elimination, spilling) on these counters rather
+    than reaching into operator internals.
+    """
+    result = db.sql(sql, mode=mode, stats=True, **options)
+    if result is None or result.stats is None:
+        raise AssertionError(f"no stats collected for {sql!r}")
+    return result.stats.to_dict()
+
+
 def assert_same_result(db_a: Database, db_b: Database, sql: str, mode_a: str, mode_b: str) -> int:
     """Both engines must agree before a timing counts; returns row count."""
     result_a = db_a.sql(sql, mode=mode_a)

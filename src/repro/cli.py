@@ -8,6 +8,7 @@ A small REPL over :class:`repro.Database` with psql-style meta-commands:
     \\mode batch|row|auto force an execution mode
     \\explain <query>     show the optimized plan
     \\analyze <query>     execute and show per-operator runtime stats
+    \\stats on|off        append runtime stats to every query result
     \\timing on|off       print per-statement wall-clock time
     \\save <dir>          persist the database
     \\open <dir>          load a saved database
@@ -63,10 +64,11 @@ def _format_value(value: Any) -> str:
 class Shell:
     """The REPL state machine (I/O-free core, testable directly)."""
 
-    def __init__(self, db: Database | None = None) -> None:
+    def __init__(self, db: Database | None = None, stats: bool = False) -> None:
         self.db = db or Database()
         self.mode = "auto"
         self.timing = False
+        self.stats = stats
         self.running = True
         self._buffer: list[str] = []
 
@@ -97,7 +99,7 @@ class Shell:
     def run_sql(self, statement: str) -> list[str]:
         start = time.perf_counter()
         try:
-            result = self.db.sql(statement, mode=self.mode)
+            result = self.db.sql(statement, mode=self.mode, stats=self.stats)
         except ReproError as exc:
             return [f"error: {exc}"]
         elapsed = (time.perf_counter() - start) * 1000
@@ -106,6 +108,8 @@ class Shell:
             out.append("ok")
         else:
             out.append(format_result(result))
+            if result.stats is not None:
+                out.extend(result.stats.render().split("\n"))
         if self.timing:
             out.append(f"time: {elapsed:.1f} ms ({self.mode} mode)")
         return out
@@ -124,6 +128,7 @@ class Shell:
             "\\schema": self._meta_schema,
             "\\sizes": self._meta_sizes,
             "\\mode": self._meta_mode,
+            "\\stats": self._meta_stats,
             "\\timing": self._meta_timing,
             "\\explain": self._meta_explain,
             "\\analyze": self._meta_analyze,
@@ -198,6 +203,15 @@ class Shell:
         self.mode = arg
         return [f"execution mode set to {arg}"]
 
+    def _meta_stats(self, arg: str) -> list[str]:
+        if arg == "on":
+            self.stats = True
+        elif arg == "off":
+            self.stats = False
+        else:
+            return [f"stats is {'on' if self.stats else 'off'}"]
+        return [f"stats {'on' if self.stats else 'off'}"]
+
     def _meta_timing(self, arg: str) -> list[str]:
         if arg == "on":
             self.timing = True
@@ -250,8 +264,10 @@ class Shell:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    shell = Shell()
+    args = list(argv) if argv is not None else sys.argv[1:]
+    stats = "--stats" in args
+    args = [a for a in args if a != "--stats"]
+    shell = Shell(stats=stats)
     if args:
         print("\n".join(shell.run_meta(f"\\open {args[0]}")))
     print("repro SQL shell — \\help for commands, \\q to quit")

@@ -14,13 +14,14 @@ operations the paper describes (tuple mover, REBUILD, archival toggles).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
 from ..errors import CatalogError, PlanningError
 from ..exec.expressions import Column, Expr
 from ..exec.operators.scan import ColumnStoreScan
 from ..exec.row_engine import RID_COLUMN, RowTableScan
+from ..observability import ExecutionStats
 from ..planner.logical import LogicalNode, LogicalScan
 from ..planner.optimizer import Optimizer, PhysicalPlan
 from ..planner.schema_infer import infer_output_dtypes
@@ -32,11 +33,17 @@ from .catalog import Catalog, StorageKind, Table
 
 @dataclass
 class Result:
-    """A query result: column names, types and presented Python rows."""
+    """A query result: column names, types and presented Python rows.
+
+    ``stats`` is the :class:`~repro.observability.ExecutionStats` handle
+    when the query ran with ``stats=True`` (per-operator runtime counters
+    plus the storage-counter delta), else ``None``.
+    """
 
     columns: list[str]
     dtypes: list[DataType]
     rows: list[tuple[Any, ...]]
+    stats: ExecutionStats | None = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -214,16 +221,29 @@ class Database:
         """Optimize + build a physical plan (see Optimizer.compile)."""
         return self.optimizer.compile(plan, **options)
 
-    def execute(self, plan: LogicalNode, **options: Any) -> Result:
-        """Run a logical plan and present results as Python values."""
+    def execute(self, plan: LogicalNode, stats: bool = False, **options: Any) -> Result:
+        """Run a logical plan and present results as Python values.
+
+        With ``stats=True`` the plan executes under per-operator stats
+        collection and the returned :class:`Result` carries an
+        :class:`~repro.observability.ExecutionStats` handle — collection
+        never changes the produced rows, only observes them.
+        """
         dtypes_by_name = infer_output_dtypes(plan, self.catalog)
         physical = self.optimizer.compile(plan, **options)
         dtypes = [dtypes_by_name[name] for name in physical.columns]
+        execution_stats: ExecutionStats | None = None
+        if stats:
+            raw_rows, execution_stats = physical.run_with_stats()
+        else:
+            raw_rows = physical.rows()
         rows = [
             tuple(dtype.present(value) for dtype, value in zip(dtypes, row))
-            for row in physical.rows()
+            for row in raw_rows
         ]
-        return Result(columns=physical.columns, dtypes=dtypes, rows=rows)
+        return Result(
+            columns=physical.columns, dtypes=dtypes, rows=rows, stats=execution_stats
+        )
 
     def sql(self, text: str, **options: Any) -> Result | None:
         """Execute a SQL statement; queries return a :class:`Result`."""

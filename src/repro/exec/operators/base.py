@@ -5,6 +5,7 @@ from __future__ import annotations
 import abc
 from typing import Iterator
 
+from ...observability.opstats import OperatorStats, instrument_batches, operator_stats
 from ..batch import Batch
 
 
@@ -13,7 +14,18 @@ class BatchOperator(abc.ABC):
 
     Subclasses implement :meth:`batches`; consumers iterate it exactly
     once. ``output_names`` lists the columns every produced batch carries.
+
+    Every concrete ``batches`` implementation is wrapped at class-creation
+    time with the observability instrumented iterator, so all operators
+    carry runtime counters (:attr:`op_stats`) without per-operator edits.
+    The wrapper costs one flag read when stats collection is off.
     """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        batches = cls.__dict__.get("batches")
+        if batches is not None and not getattr(batches, "_instrumented", False):
+            cls.batches = instrument_batches(batches)
 
     @property
     @abc.abstractmethod
@@ -24,8 +36,19 @@ class BatchOperator(abc.ABC):
     def batches(self) -> Iterator[Batch]:
         """Produce the operator's output, one batch at a time."""
 
+    @property
+    def op_stats(self) -> OperatorStats:
+        """Runtime counters (filled while stats collection is on)."""
+        return operator_stats(self)
+
     def explain_lines(self, depth: int = 0) -> list[str]:
-        """Human-readable plan rendering (one line per operator)."""
+        """Human-readable plan rendering (one line per operator).
+
+        Recursion goes through :meth:`child_operators` — the single
+        source of truth for plan shape, shared with EXPLAIN ANALYZE —
+        so subclasses must override ``child_operators``, never hand-roll
+        their own tree walk here.
+        """
         pad = "  " * depth
         lines = [f"{pad}{self.describe()}"]
         for child in self.child_operators():
@@ -36,4 +59,7 @@ class BatchOperator(abc.ABC):
         return type(self).__name__
 
     def child_operators(self) -> list["BatchOperator"]:
+        """Direct children in execution order (cross-engine adapters may
+        return row operators; tree walks only need the shared surface of
+        ``describe`` / ``explain_lines`` / ``child_operators``)."""
         return []

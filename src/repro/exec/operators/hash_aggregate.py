@@ -57,6 +57,7 @@ class AggregateStats:
     groups: int = 0
     spilled: bool = False
     partials_spilled: int = 0
+    spill_bytes: int = 0
 
 
 
@@ -378,6 +379,7 @@ class BatchHashAggregate(BatchOperator):
         if state.n_groups:
             self._spill_partials(state.to_partial_batch(), spills)
         self.stats.partials_spilled = sum(s.rows for s in spills)
+        self.stats.spill_bytes = sum(s.bytes_written for s in spills)
         try:
             total_groups = 0
             for spill in spills:

@@ -49,6 +49,7 @@ class JoinStats:
     spill_partitions: int = 0
     build_rows_spilled: int = 0
     probe_rows_spilled: int = 0
+    spill_bytes: int = 0
 
 
 class _HashTable:
@@ -244,6 +245,7 @@ class BatchHashJoin(BatchOperator):
             for rest in source:
                 self._spill_batch(rest.compact(), self.build_keys, spills)
             self.stats.build_rows_spilled = sum(s.rows for s in spills)
+            self.stats.spill_bytes += sum(s.bytes_written for s in spills)
             return [], spills
         self.grant.release(reserved)
         return accumulated, None
@@ -399,6 +401,7 @@ class BatchHashJoin(BatchOperator):
             self.stats.probe_rows += dense.row_count
             self._spill_batch(dense, self.probe_keys, probe_spills)
         self.stats.probe_rows_spilled = sum(s.rows for s in probe_spills)
+        self.stats.spill_bytes += sum(s.bytes_written for s in probe_spills)
         try:
             for p in range(_SPILL_PARTITIONS):
                 build = concat_batches(list(build_spills[p].read_back()))

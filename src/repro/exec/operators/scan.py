@@ -23,6 +23,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ...observability import registry as metrics
 from ...storage.columnstore import DELTA, GROUP, ColumnStoreIndex, RowLocator, ScanUnit
 from ...storage.encodings import Scheme
 from ...storage.rle import RleBlock
@@ -83,6 +84,7 @@ class ColumnStoreScan(BatchOperator):
         # worker scans the units whose ordinal hashes to its shard.
         self.shard = shard
         self.stats = ScanStats()
+        self._reported: dict[str, int] = {}
         self._conjuncts = split_conjuncts(predicate)
         self._ranges = extract_column_ranges(self._conjuncts)
 
@@ -102,14 +104,30 @@ class ColumnStoreScan(BatchOperator):
     # Main loop
     # ------------------------------------------------------------------ #
     def batches(self) -> Iterator[Batch]:
-        for ordinal, unit in enumerate(self.index.scan_units()):
-            if self.shard is not None and ordinal % self.shard[1] != self.shard[0]:
-                continue
-            self.stats.units_seen += 1
-            if unit.kind == GROUP:
-                yield from self._scan_group(unit)
-            else:
-                yield from self._scan_delta(unit)
+        try:
+            for ordinal, unit in enumerate(self.index.scan_units()):
+                if self.shard is not None and ordinal % self.shard[1] != self.shard[0]:
+                    continue
+                self.stats.units_seen += 1
+                if unit.kind == GROUP:
+                    yield from self._scan_group(unit)
+                else:
+                    yield from self._scan_delta(unit)
+        finally:
+            self._report_to_registry()
+
+    def _report_to_registry(self) -> None:
+        """Publish this scan's counter growth into the metrics registry.
+
+        Delta-based so a scan re-iterated (or abandoned early by a LIMIT)
+        never double-counts what it already reported.
+        """
+        current = vars(self.stats)
+        for name, value in current.items():
+            grown = value - self._reported.get(name, 0)
+            if grown:
+                metrics.increment(f"storage.scan.{name}", grown)
+        self._reported = dict(current)
 
     # ------------------------------------------------------------------ #
     # Compressed row groups

@@ -17,6 +17,7 @@ import heapq
 from typing import Any, Iterator
 
 from ..errors import ExecutionError
+from ..observability.opstats import OperatorStats, instrument_rows, operator_stats
 from ..rowstore.table import RowStoreTable
 from ..storage.columnstore import ColumnStoreIndex
 from .batch import DEFAULT_BATCH_SIZE, Batch
@@ -29,7 +30,18 @@ RID_COLUMN = "__rid__"
 
 
 class RowOperator(abc.ABC):
-    """A pull-based tuple-at-a-time operator."""
+    """A pull-based tuple-at-a-time operator.
+
+    Like :class:`BatchOperator`, every concrete ``rows`` implementation is
+    wrapped with the observability instrumented iterator at class-creation
+    time, so batch-vs-row comparisons report runtime stats on both sides.
+    """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        rows = cls.__dict__.get("rows")
+        if rows is not None and not getattr(rows, "_instrumented", False):
+            cls.rows = instrument_rows(rows)
 
     @property
     @abc.abstractmethod
@@ -39,6 +51,11 @@ class RowOperator(abc.ABC):
     @abc.abstractmethod
     def rows(self) -> Iterator[dict[str, Any]]:
         """Produce output rows one at a time."""
+
+    @property
+    def op_stats(self) -> OperatorStats:
+        """Runtime counters (filled while stats collection is on)."""
+        return operator_stats(self)
 
     def explain_lines(self, depth: int = 0) -> list[str]:
         pad = "  " * depth
@@ -460,6 +477,9 @@ class RowsToBatches(BatchOperator):
     def describe(self) -> str:
         return "RowsToBatches"
 
+    def child_operators(self) -> list:
+        return [self.child]
+
     def batches(self) -> Iterator[Batch]:
         names = self.child.output_names
         buffer: list[dict[str, Any]] = []
@@ -484,6 +504,9 @@ class BatchesToRows(RowOperator):
 
     def describe(self) -> str:
         return "BatchesToRows"
+
+    def child_operators(self) -> list:
+        return [self.child]
 
     def rows(self) -> Iterator[dict[str, Any]]:
         names = self.child.output_names

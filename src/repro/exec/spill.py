@@ -16,18 +16,27 @@ import tempfile
 import numpy as np
 
 from ..errors import ExecutionError
+from ..observability import registry as metrics
 from .batch import Batch
 
 
 class SpillFile:
-    """An append-then-read-back stream of dense batches on disk."""
+    """An append-then-read-back stream of dense batches on disk.
+
+    Every file creation and append reports into the metrics registry
+    (``exec.spill.files`` / ``batches`` / ``rows`` / ``bytes_written``),
+    and :attr:`bytes_written` lets the owning operator attribute spill
+    volume to itself for EXPLAIN ANALYZE.
+    """
 
     def __init__(self) -> None:
         fd, self._path = tempfile.mkstemp(prefix="repro-spill-", suffix=".bin")
         self._file = os.fdopen(fd, "w+b")
         self._n_batches = 0
         self._rows = 0
+        self._bytes_written = 0
         self._closed = False
+        metrics.increment("exec.spill.files")
 
     @property
     def rows(self) -> int:
@@ -36,6 +45,10 @@ class SpillFile:
     @property
     def n_batches(self) -> int:
         return self._n_batches
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written
 
     def append(self, batch: Batch) -> None:
         if self._closed:
@@ -50,6 +63,11 @@ class SpillFile:
         self._file.write(payload)
         self._n_batches += 1
         self._rows += dense.row_count
+        written = len(payload) + 8
+        self._bytes_written += written
+        metrics.increment("exec.spill.batches")
+        metrics.increment("exec.spill.rows", dense.row_count)
+        metrics.increment("exec.spill.bytes_written", written)
 
     def read_back(self):
         """Yield the spilled batches in write order."""

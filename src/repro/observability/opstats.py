@@ -1,0 +1,150 @@
+"""Per-operator runtime statistics via an instrumented-iterator wrapper.
+
+Every :class:`~repro.exec.operators.base.BatchOperator` subclass has its
+``batches()`` generator wrapped at class-creation time (and every
+``RowOperator`` its ``rows()``), so *all* operators inherit runtime
+counters — batches emitted, rows out, inclusive wall time, peak memory
+grant, spill bytes — without per-operator edits. The wrapper is a no-op
+(one module-level flag read, zero per-batch work) unless collection is
+active, which keeps stats-off execution at full speed.
+
+Collection is turned on per execution with :func:`collect` (used by
+``EXPLAIN ANALYZE``, ``Database.execute(stats=True)`` and the CLI's
+``--stats`` flag), or process-wide with :func:`enable`.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+_collecting = False
+
+
+def collecting() -> bool:
+    """Whether per-operator stats collection is currently on."""
+    return _collecting
+
+
+def enable() -> None:
+    global _collecting
+    _collecting = True
+
+
+def disable() -> None:
+    global _collecting
+    _collecting = False
+
+
+@contextmanager
+def collect():
+    """Collect per-operator stats for the duration of the block."""
+    global _collecting
+    previous = _collecting
+    _collecting = True
+    try:
+        yield
+    finally:
+        _collecting = previous
+
+
+@dataclass
+class OperatorStats:
+    """Runtime counters one operator accumulated while collection was on.
+
+    ``wall_seconds`` is *inclusive* time — the time the operator's
+    consumer spent blocked in its ``next()``, children included — the
+    conventional EXPLAIN ANALYZE reading.
+    """
+
+    batches: int = 0
+    rows: int = 0
+    wall_seconds: float = 0.0
+    peak_grant_bytes: int = 0
+    spill_bytes: int = 0
+
+    @property
+    def touched(self) -> bool:
+        return bool(self.batches or self.rows or self.wall_seconds)
+
+
+def operator_stats(operator) -> OperatorStats:
+    """The lazily created :class:`OperatorStats` record of an operator."""
+    stats = getattr(operator, "_op_stats", None)
+    if stats is None:
+        stats = OperatorStats()
+        operator._op_stats = stats
+    return stats
+
+
+def _capture_extras(operator, stats: OperatorStats) -> None:
+    """Pull grant / spill figures off the operator once a stream ends."""
+    grant = getattr(operator, "grant", None)
+    if grant is not None:
+        peak = getattr(grant, "peak_bytes", 0)
+        if peak > stats.peak_grant_bytes:
+            stats.peak_grant_bytes = peak
+    own = getattr(operator, "stats", None)
+    if own is not None:
+        spill_bytes = getattr(own, "spill_bytes", 0)
+        if spill_bytes > stats.spill_bytes:
+            stats.spill_bytes = spill_bytes
+
+
+def instrument_batches(fn):
+    """Wrap a ``batches()`` generator function with stats accounting."""
+
+    @functools.wraps(fn)
+    def wrapper(self):
+        if not _collecting:
+            yield from fn(self)
+            return
+        stats = operator_stats(self)
+        source = fn(self)
+        try:
+            while True:
+                start = time.perf_counter()
+                try:
+                    batch = next(source)
+                except StopIteration:
+                    stats.wall_seconds += time.perf_counter() - start
+                    break
+                stats.wall_seconds += time.perf_counter() - start
+                stats.batches += 1
+                stats.rows += batch.active_count
+                yield batch
+        finally:
+            _capture_extras(self, stats)
+
+    wrapper._instrumented = True
+    return wrapper
+
+
+def instrument_rows(fn):
+    """Wrap a row-engine ``rows()`` generator function the same way."""
+
+    @functools.wraps(fn)
+    def wrapper(self):
+        if not _collecting:
+            yield from fn(self)
+            return
+        stats = operator_stats(self)
+        source = fn(self)
+        try:
+            while True:
+                start = time.perf_counter()
+                try:
+                    row = next(source)
+                except StopIteration:
+                    stats.wall_seconds += time.perf_counter() - start
+                    break
+                stats.wall_seconds += time.perf_counter() - start
+                stats.rows += 1
+                yield row
+        finally:
+            _capture_extras(self, stats)
+
+    wrapper._instrumented = True
+    return wrapper

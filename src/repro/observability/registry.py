@@ -1,0 +1,174 @@
+"""Process-wide metrics registry: counters, gauges, and timers.
+
+Storage components (segment cache, columnstore scans, delta stores, the
+tuple mover, spill files) report into a :class:`MetricsRegistry` so the
+engine can prove, from the inside, what a query actually did — row groups
+eliminated, cache hits paid for, bytes spilled. The paper's claims are
+quantitative; this registry is how the repo's benchmarks assert them via
+engine counters instead of wall clock alone.
+
+A single process-wide registry (:func:`get_registry`) is the default
+sink. Tests that need isolation install their own instance with
+:func:`set_registry` (or simply call :meth:`MetricsRegistry.reset`).
+
+Counter names are dotted paths (``storage.scan.units_eliminated``); the
+names listed in ``STABLE_COUNTERS`` are a stable API documented in the
+README — benchmarks and external tooling may rely on them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+# Counters whose names and meanings are frozen (documented in README).
+STABLE_COUNTERS = (
+    "storage.cache.hits",
+    "storage.cache.misses",
+    "storage.cache.evictions",
+    "storage.scan.units_seen",
+    "storage.scan.units_eliminated",
+    "storage.scan.rows_scanned",
+    "storage.scan.rows_emitted",
+    "storage.scan.delta_rows_scanned",
+    "storage.scan.rows_rejected_by_bitmap",
+    "storage.scan.rows_rejected_deleted",
+    "storage.scan.encoded_space_conjuncts",
+    "storage.scan.columns_decoded",
+    "storage.segments.decode_requests",
+    "storage.delta.rows_inserted",
+    "storage.delta.stores_closed",
+    "storage.tuple_mover.runs",
+    "storage.tuple_mover.rows_moved",
+    "storage.tuple_mover.delta_stores_compressed",
+    "storage.tuple_mover.row_groups_created",
+    "exec.spill.files",
+    "exec.spill.batches",
+    "exec.spill.rows",
+    "exec.spill.bytes_written",
+)
+
+
+@dataclass
+class TimerStat:
+    """Accumulated observations of one named timer."""
+
+    count: int = 0
+    seconds: float = 0.0
+
+
+class MetricsRegistry:
+    """Counters, gauges, and timers behind one lock.
+
+    All mutation is O(1) dict work; callers on hot paths report at coarse
+    granularity (per scan unit, per spill batch — never per row of a
+    batch-mode pipeline), so the registry is always on.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, TimerStat] = {}
+
+    # ------------------------------------------------------------------ #
+    # Counters
+    # ------------------------------------------------------------------ #
+    def increment(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------ #
+    # Gauges
+    # ------------------------------------------------------------------ #
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def max_gauge(self, name: str, value: float) -> None:
+        """Keep the high-water mark of a gauge (e.g. peak memory)."""
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
+
+    def gauge(self, name: str) -> float | None:
+        with self._lock:
+            return self._gauges.get(name)
+
+    # ------------------------------------------------------------------ #
+    # Timers
+    # ------------------------------------------------------------------ #
+    def record_time(self, name: str, seconds: float) -> None:
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.count += 1
+            stat.seconds += seconds
+
+    @contextmanager
+    def timer(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_time(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, float]:
+        """A flat point-in-time view: counters and gauges verbatim,
+        timers flattened to ``<name>.count`` / ``<name>.seconds``."""
+        with self._lock:
+            out: dict[str, float] = dict(self._counters)
+            out.update(self._gauges)
+            for name, stat in self._timers.items():
+                out[f"{name}.count"] = stat.count
+                out[f"{name}.seconds"] = stat.seconds
+            return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+def snapshot_delta(
+    before: dict[str, float], after: dict[str, float]
+) -> dict[str, float]:
+    """Nonzero per-key growth between two :meth:`snapshot` calls."""
+    delta = {}
+    for name, value in after.items():
+        grown = value - before.get(name, 0)
+        if grown:
+            delta[name] = grown
+    return delta
+
+
+_global_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every storage component reports into."""
+    return _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install a registry (tests); returns the previously installed one."""
+    global _global_registry
+    previous = _global_registry
+    _global_registry = registry
+    return previous
+
+
+def increment(name: str, value: float = 1) -> None:
+    """Convenience: bump a counter on the process-wide registry."""
+    _global_registry.increment(name, value)

@@ -7,6 +7,7 @@ from typing import Any, Iterator
 
 from ..exec.operators.base import BatchOperator
 from ..exec.row_engine import RowOperator
+from ..observability import ExecutionStats, get_registry, opstats, snapshot_delta
 from .logical import (
     LogicalAggregate,
     LogicalFilter,
@@ -47,37 +48,43 @@ class PhysicalPlan:
         logical = "\n".join(self.logical.explain_lines())
         return f"-- logical --\n{logical}\n-- physical ({self.mode} mode) --\n{physical}"
 
-    def explain_analyze(self) -> str:
-        """Execute the plan, then render it annotated with runtime stats.
+    def run_with_stats(self) -> tuple[list[tuple[Any, ...]], ExecutionStats]:
+        """Execute with per-operator stats collection on.
 
-        EXPLAIN ANALYZE for this engine: every operator exposing a
-        ``stats`` dataclass (scans, joins, aggregates) reports its
-        counters — rows scanned/emitted, row groups eliminated, bitmap
-        rejections, spill activity.
+        Returns the materialized physical rows plus the
+        :class:`ExecutionStats` handle: the operator tree annotated with
+        runtime counters (via the instrumented iterators every operator
+        inherits) and the metrics-registry delta over the execution
+        (segment eliminations, cache hits, spill bytes, ...).
         """
         import time
 
-        start = time.perf_counter()
-        row_count = sum(1 for _ in self.rows())
-        elapsed_ms = (time.perf_counter() - start) * 1000
-        lines = [f"-- executed in {elapsed_ms:.1f} ms, {row_count} rows --"]
-        lines.extend(self._annotated_lines(self.root, 0))
-        return "\n".join(lines)
+        registry = get_registry()
+        before = registry.snapshot()
+        with opstats.collect():
+            start = time.perf_counter()
+            rows = list(self.rows())
+            elapsed = time.perf_counter() - start
+        counters = snapshot_delta(before, registry.snapshot())
+        stats = ExecutionStats.capture(
+            self.root,
+            mode=self.mode,
+            elapsed_seconds=elapsed,
+            row_count=len(rows),
+            counters=counters,
+        )
+        return rows, stats
 
-    def _annotated_lines(self, operator, depth: int) -> list[str]:
-        pad = "  " * depth
-        lines = [f"{pad}{operator.describe()}"]
-        stats = getattr(operator, "stats", None)
-        if stats is not None:
-            fields = []
-            for name, value in vars(stats).items():
-                if value not in (0, False, [], None):
-                    fields.append(f"{name}={value}")
-            if fields:
-                lines.append(f"{pad}  * {', '.join(fields)}")
-        for child in operator.child_operators():
-            lines.extend(self._annotated_lines(child, depth + 1))
-        return lines
+    def explain_analyze(self) -> str:
+        """Execute the plan, then render it annotated with runtime stats.
+
+        EXPLAIN ANALYZE for this engine: every operator reports actual
+        rows/batches/inclusive time (plus grant peaks and spill bytes),
+        operator-specific counters — row groups eliminated, bitmap
+        rejections, spill activity — and the storage-counter delta.
+        """
+        _, stats = self.run_with_stats()
+        return stats.render()
 
 
 class Optimizer:

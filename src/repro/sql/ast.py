@@ -165,3 +165,12 @@ class UpdateStatement:
     table: str
     assignments: list[tuple[str, SqlExpr]]
     where: SqlExpr | None
+
+
+@dataclass
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] SELECT ...`` — plan text, optionally executed
+    with runtime stats collection."""
+
+    select: SelectStatement
+    analyze: bool = False

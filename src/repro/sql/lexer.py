@@ -13,7 +13,7 @@ KEYWORDS = {
     "when", "then",
     "else", "end", "distinct", "insert", "into", "values", "create",
     "table", "drop", "delete", "update", "set", "using", "asc", "desc",
-    "true", "false", "exists",
+    "true", "false", "exists", "explain", "analyze",
 }
 
 # Multi-character operators first so they win over single-char prefixes.

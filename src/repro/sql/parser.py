@@ -19,6 +19,7 @@ from .ast import (
     ELike,
     ELiteral,
     EUnary,
+    ExplainStatement,
     InsertStatement,
     JoinClause,
     SelectItem,
@@ -86,7 +87,9 @@ class Parser:
     # ------------------------------------------------------------------ #
     def parse_statement(self):
         token = self.peek()
-        if token.is_keyword("select"):
+        if token.is_keyword("explain"):
+            statement = self.parse_explain()
+        elif token.is_keyword("select"):
             statement = self.parse_select()
         elif token.is_keyword("insert"):
             statement = self.parse_insert()
@@ -105,6 +108,18 @@ class Parser:
         if tail.kind != "eof":
             raise SqlSyntaxError(f"trailing input {tail.text!r}", tail.position)
         return statement
+
+    def parse_explain(self) -> ExplainStatement:
+        """``EXPLAIN [ANALYZE] <select>``."""
+        self.expect_keyword("explain")
+        analyze = self.accept_keyword("analyze")
+        token = self.peek()
+        if not token.is_keyword("select"):
+            raise SqlSyntaxError(
+                f"EXPLAIN expects a SELECT statement, got {token.text!r}",
+                token.position,
+            )
+        return ExplainStatement(self.parse_select(), analyze=analyze)
 
     def parse_select(self) -> SelectStatement:
         self.expect_keyword("select")

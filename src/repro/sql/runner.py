@@ -41,6 +41,8 @@ def run_statement(db, sql: str, **options: Any):
     if isinstance(statement, A.SelectStatement):
         plan = Binder(db.catalog).bind_select(statement)
         return db.execute(plan, **options)
+    if isinstance(statement, A.ExplainStatement):
+        return _run_explain(db, statement, **options)
     if isinstance(statement, A.CreateTableStatement):
         _run_create_table(db, statement)
         return None
@@ -58,11 +60,30 @@ def run_statement(db, sql: str, **options: Any):
 
 
 def plan_query(db, sql: str) -> LogicalNode:
-    """Parse + bind a SELECT for EXPLAIN."""
+    """Parse + bind a SELECT (or EXPLAIN-wrapped SELECT) for EXPLAIN."""
     statement = parse_statement(sql)
+    if isinstance(statement, A.ExplainStatement):
+        statement = statement.select
     if not isinstance(statement, A.SelectStatement):
         raise SqlSyntaxError("EXPLAIN expects a SELECT statement")
     return Binder(db.catalog).bind_select(statement)
+
+
+def _run_explain(db, statement: A.ExplainStatement, **options: Any):
+    """EXPLAIN / EXPLAIN ANALYZE: plan text as a one-column result."""
+    from ..db.database import Result
+
+    options.pop("stats", None)  # ANALYZE decides collection itself
+    plan = Binder(db.catalog).bind_select(statement.select)
+    if statement.analyze:
+        text = db.explain_analyze(plan, **options)
+    else:
+        text = db.explain(plan, **options)
+    return Result(
+        columns=["plan"],
+        dtypes=[VARCHAR],
+        rows=[(line,) for line in text.split("\n")],
+    )
 
 
 def _affected(db, count: int):

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability import registry as metrics
 from .segment import ColumnSegment
 
 
@@ -72,8 +73,10 @@ class SegmentCache:
         if entry is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            metrics.increment("storage.cache.hits")
             return entry[0], entry[1]
         self.stats.misses += 1
+        metrics.increment("storage.cache.misses")
         values, null_mask = segment.decode()
         size = _decoded_bytes(values, null_mask)
         if size <= self.capacity_bytes:
@@ -89,6 +92,7 @@ class SegmentCache:
             self._pins.pop(key, None)
             self._used_bytes -= size
             self.stats.evictions += 1
+            metrics.increment("storage.cache.evictions")
 
     def clear(self) -> None:
         self._entries.clear()

@@ -20,6 +20,7 @@ from typing import Any, Iterable, Iterator, Sequence
 import numpy as np
 
 from ..errors import StorageError
+from ..observability import registry as metrics
 from ..schema import TableSchema
 from .config import StoreConfig
 from .delete_bitmap import DeleteBitmap
@@ -178,6 +179,7 @@ class ColumnStoreIndex:
     # ------------------------------------------------------------------ #
     def decode_segment(self, group: RowGroup, column: str):
         """Decode one segment, through the decode cache when enabled."""
+        metrics.increment("storage.segments.decode_requests")
         segment = group.segment(column)
         if self.segment_cache is not None:
             return self.segment_cache.decode(segment)

@@ -16,6 +16,7 @@ from typing import Any, Iterator
 import numpy as np
 
 from ..errors import StorageError
+from ..observability import registry as metrics
 from ..schema import TableSchema
 from .btree import BPlusTree
 
@@ -47,6 +48,8 @@ class DeltaStore:
 
     def close(self) -> None:
         """Stop accepting inserts; the tuple mover may now compress it."""
+        if self.state is DeltaState.OPEN:
+            metrics.increment("storage.delta.stores_closed")
         self.state = DeltaState.CLOSED
 
     # ------------------------------------------------------------------ #
@@ -58,6 +61,7 @@ class DeltaStore:
         if row_id in self._rows:
             raise StorageError(f"duplicate row id {row_id} in delta store")
         self._rows.insert(row_id, values)
+        metrics.increment("storage.delta.rows_inserted")
 
     def delete(self, row_id: int) -> bool:
         """Delete a row in place; returns ``False`` if absent."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..observability import registry as metrics
 from .columnstore import ColumnStoreIndex
 
 
@@ -47,4 +48,13 @@ class TupleMover:
             report.rows_moved += delta.row_count
             report.row_groups_created += len(groups)
             report.group_ids.extend(g.group_id for g in groups)
+        metrics.increment("storage.tuple_mover.runs")
+        metrics.increment(
+            "storage.tuple_mover.delta_stores_compressed",
+            report.delta_stores_compressed,
+        )
+        metrics.increment("storage.tuple_mover.rows_moved", report.rows_moved)
+        metrics.increment(
+            "storage.tuple_mover.row_groups_created", report.row_groups_created
+        )
         return report

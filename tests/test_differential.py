@@ -167,3 +167,24 @@ def test_spilling_agrees_with_row_engine(grant):
     batch = db.sql(sql, mode="batch", grant_bytes=grant)
     row = db.sql(sql, mode="row")
     assert normalize(batch.rows) == normalize(row.rows)
+
+
+@SETTINGS
+@given(rows=rows_strategy, where=st.sampled_from(WHERE_CLAUSES),
+       template=st.sampled_from(PLAIN_QUERIES + AGG_QUERIES),
+       mode=st.sampled_from(["batch", "row"]))
+def test_stats_collection_does_not_change_results(rows, where, template, mode):
+    """Stats-enabled execution must be byte-identical to stats-off.
+
+    The instrumented-iterator wrapper sits on every operator's data path;
+    this proves it is an observer, not a participant. No normalize() here:
+    identical engine, identical order, identical bytes expected.
+    """
+    db = make_db(rows)
+    sql = template.format(where=where)
+    plain = db.sql(sql, mode=mode)
+    with_stats = db.sql(sql, mode=mode, stats=True)
+    assert plain.columns == with_stats.columns, sql
+    assert plain.rows == with_stats.rows, sql
+    assert plain.stats is None
+    assert with_stats.stats is not None
