@@ -22,7 +22,7 @@ Quickstart::
 from . import types
 from .db.catalog import StorageKind, Table
 from .db.database import Database, Result
-from .errors import ReproError
+from .errors import CorruptBlobError, RecoveryError, ReproError
 from .observability import ExecutionStats, MetricsRegistry, get_registry
 from .schema import ColumnDef, TableSchema, schema
 from .storage.columnstore import ColumnStoreIndex
@@ -33,9 +33,11 @@ __version__ = "1.0.0"
 __all__ = [
     "ColumnDef",
     "ColumnStoreIndex",
+    "CorruptBlobError",
     "Database",
     "ExecutionStats",
     "MetricsRegistry",
+    "RecoveryError",
     "ReproError",
     "Result",
     "StorageKind",

@@ -1,5 +1,8 @@
 """Interactive SQL shell: ``python -m repro [database-dir]``.
 
+``python -m repro check <dir>`` runs the offline integrity scan instead
+(per-file checksum + decode verdicts; exit status 1 if anything is bad).
+
 A small REPL over :class:`repro.Database` with psql-style meta-commands:
 
     \\tables              list tables
@@ -12,6 +15,7 @@ A small REPL over :class:`repro.Database` with psql-style meta-commands:
     \\timing on|off       print per-statement wall-clock time
     \\save <dir>          persist the database
     \\open <dir>          load a saved database
+    \\check <dir>         verify a saved database (checksums, decode)
     \\mover <table>       run the tuple mover
     \\rebuild <table>     rebuild the columnstore
     \\q                   quit
@@ -134,6 +138,7 @@ class Shell:
             "\\analyze": self._meta_analyze,
             "\\save": self._meta_save,
             "\\open": self._meta_open,
+            "\\check": self._meta_check,
             "\\mover": self._meta_mover,
             "\\rebuild": self._meta_rebuild,
             "\\help": self._meta_help,
@@ -243,6 +248,11 @@ class Shell:
         self.db = Database.load(arg)
         return [f"opened {arg} ({len(self.db.catalog.table_names())} tables)"]
 
+    def _meta_check(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\check <directory>"]
+        return Database.check(arg).render()
+
     def _meta_mover(self, arg: str) -> list[str]:
         if not arg:
             return ["usage: \\mover <table>"]
@@ -267,6 +277,14 @@ def main(argv: list[str] | None = None) -> int:
     args = list(argv) if argv is not None else sys.argv[1:]
     stats = "--stats" in args
     args = [a for a in args if a != "--stats"]
+    if args and args[0] == "check":
+        # `repro check <dir>`: offline integrity scan, exit 1 on failure.
+        if len(args) < 2:
+            print("usage: python -m repro check <directory>")
+            return 2
+        report = Database.check(args[1])
+        print("\n".join(report.render()))
+        return 0 if report.ok else 1
     shell = Shell(stats=stats)
     if args:
         print("\n".join(shell.run_meta(f"\\open {args[0]}")))

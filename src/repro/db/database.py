@@ -274,20 +274,27 @@ class Database:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: str) -> None:
-        """Persist the whole database to a directory.
+    def save(self, path: str, disk=None) -> None:
+        """Persist the whole database to a directory, crash-safely.
 
         Compressed segments are written as immutable blobs (one file per
         segment, the paper's LOB model); delta stores, delete bitmaps and
         row-store heaps are serialized row-wise; the catalog is JSON.
+
+        Every save is a fresh checksummed snapshot committed by a single
+        atomic manifest rename (:mod:`repro.storage.snapshot`): a crash
+        at any point leaves either the previous save or this one — never
+        a hybrid. ``disk`` is the I/O abstraction (tests inject a
+        :class:`~repro.storage.diskio.FaultyDisk`).
         """
         import json
         from pathlib import Path
 
         from ..storage import persist
+        from ..storage.diskio import DiskIO
+        from ..storage.snapshot import SnapshotWriter
 
-        root = Path(path)
-        root.mkdir(parents=True, exist_ok=True)
+        writer = SnapshotWriter(disk or DiskIO(), Path(path))
         catalog_entries = []
         for name in self.catalog.table_names():
             table = self.catalog.table(name)
@@ -302,27 +309,43 @@ class Database:
                 },
             }
             catalog_entries.append(entry)
-            table_dir = root / table.name
-            table_dir.mkdir(exist_ok=True)
             if table.columnstore is not None:
-                persist.save_columnstore(table.columnstore, table_dir)
+                persist.save_columnstore(table.columnstore, writer, table.name)
             if table.rowstore is not None:
                 rows = [row for _, row in table.rowstore.scan()]
-                (table_dir / "rowstore.rows").write_bytes(
-                    persist.serialize_rows(table.schema, rows)
+                writer.write(
+                    f"{table.name}/rowstore.rows",
+                    persist.serialize_rows(table.schema, rows),
                 )
-        (root / "catalog.json").write_text(json.dumps(catalog_entries, indent=1))
+        writer.write(
+            "catalog.json", json.dumps(catalog_entries, indent=1).encode("utf-8")
+        )
+        writer.commit()
 
     @classmethod
-    def load(cls, path: str) -> "Database":
-        """Reopen a database saved with :meth:`save`."""
+    def load(cls, path: str, disk=None) -> "Database":
+        """Reopen a database saved with :meth:`save`.
+
+        Locates the newest complete manifest, verifies every file's size
+        and CRC-32C before deserializing a byte, garbage-collects files
+        left behind by interrupted saves, and raises structured
+        :class:`~repro.errors.CorruptBlobError` /
+        :class:`~repro.errors.RecoveryError` naming the offending path
+        on any corruption. Pre-manifest directories load unverified.
+        """
         import json
         from pathlib import Path
 
+        from ..errors import RecoveryError
         from ..storage import persist
+        from ..storage.diskio import DiskIO
+        from ..storage.snapshot import open_database_reader
 
-        root = Path(path)
-        catalog_entries = json.loads((root / "catalog.json").read_text())
+        reader = open_database_reader(disk or DiskIO(), Path(path))
+        try:
+            catalog_entries = json.loads(reader.read("catalog.json").decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RecoveryError(f"unreadable catalog.json: {exc}") from exc
         db = cls()
         for entry in catalog_entries:
             table_schema = persist.schema_from_json(entry["schema"])
@@ -330,19 +353,35 @@ class Database:
             table = db.create_table(
                 entry["name"], table_schema, storage=entry["storage"], config=config
             )
-            table_dir = root / entry["name"]
             if table.columnstore is not None:
                 table.columnstore = persist.load_columnstore(
-                    table_schema, config, table_dir
+                    table_schema, config, reader, table.name
                 )
             if table.rowstore is not None:
                 rows = persist.deserialize_rows(
-                    table_schema, (table_dir / "rowstore.rows").read_bytes()
+                    table_schema, reader.read(f"{table.name}/rowstore.rows")
                 )
                 table.rowstore.insert_many(rows)
             for index_name, columns in entry["indexes"].items():
                 table.create_index(index_name, columns)
         return db
+
+    @staticmethod
+    def check(path: str, disk=None):
+        """Integrity-scan a saved database without opening it.
+
+        Returns an :class:`~repro.storage.snapshot.IntegrityReport` with
+        a per-file verdict (``ok`` / ``missing`` / ``size-mismatch`` /
+        ``checksum-mismatch`` / ``undecodable``). Never raises on
+        corruption — corruption is the result being reported. Exposed on
+        the CLI as ``repro check <dir>`` and the shell's ``\\check``.
+        """
+        from pathlib import Path
+
+        from ..storage.diskio import DiskIO
+        from ..storage.snapshot import check_database
+
+        return check_database(disk or DiskIO(), Path(path))
 
     # ------------------------------------------------------------------ #
     # Maintenance

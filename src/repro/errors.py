@@ -29,6 +29,31 @@ class EncodingError(StorageError):
     """A column segment could not be encoded or decoded."""
 
 
+class CorruptBlobError(EncodingError):
+    """A persisted blob is truncated, bit-flipped, or otherwise corrupt.
+
+    Raised by bounds-checked decode paths (segment blobs, row blobs) and
+    by checksum verification at load time. ``path`` names the offending
+    file when the corruption was found on disk.
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+        self.path = path
+
+
+class RecoveryError(StorageError):
+    """A saved database directory cannot be opened.
+
+    Covers missing/unparseable manifests, files listed in the manifest
+    but absent on disk, and metadata that fails structural validation.
+    Distinct from :class:`CorruptBlobError`, which means a present file
+    has bad bytes.
+    """
+
+
 class CatalogError(ReproError):
     """Unknown or duplicate table / column / index name."""
 

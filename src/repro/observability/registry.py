@@ -44,6 +44,9 @@ STABLE_COUNTERS = (
     "storage.tuple_mover.rows_moved",
     "storage.tuple_mover.delta_stores_compressed",
     "storage.tuple_mover.row_groups_created",
+    "storage.recovery.files_verified",
+    "storage.recovery.checksum_failures",
+    "storage.recovery.snapshots_rolled_back",
     "exec.spill.files",
     "exec.spill.batches",
     "exec.spill.rows",

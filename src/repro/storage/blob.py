@@ -22,7 +22,9 @@ Layout (little-endian, varint = LEB128):
 
 from __future__ import annotations
 
-from ..errors import EncodingError
+import struct
+
+from ..errors import CorruptBlobError, EncodingError, TypeMismatchError
 from ..types import DataType, TypeKind
 from . import serde
 from .dictionary import LocalDictionary
@@ -63,8 +65,18 @@ def _write_bytes(out: bytearray, payload: bytes) -> None:
     out += payload
 
 
+def _need(blob: bytes, pos: int, count: int) -> None:
+    """Bounds check: the next ``count`` bytes must exist."""
+    if pos + count > len(blob):
+        raise CorruptBlobError(
+            f"segment blob truncated at offset {pos} "
+            f"(need {count} more bytes, have {len(blob) - pos})"
+        )
+
+
 def _read_bytes(blob: bytes, pos: int) -> tuple[bytes, int]:
     length, pos = serde.read_varint(blob, pos)
+    _need(blob, pos, length)
     return blob[pos : pos + length], pos + length
 
 
@@ -139,7 +151,32 @@ def _write_stream(out: bytearray, segment: ColumnSegment) -> None:
 
 
 def deserialize_segment(blob: bytes) -> ColumnSegment:
-    """Inverse of :func:`serialize_segment`."""
+    """Inverse of :func:`serialize_segment`.
+
+    Decoding is fully bounds-checked: any truncated, bit-flipped, or
+    otherwise malformed blob raises :class:`EncodingError` (usually its
+    :class:`CorruptBlobError` subclass) — raw ``IndexError``/``KeyError``/
+    ``struct.error`` never escape.
+    """
+    try:
+        return _deserialize_segment(blob)
+    except EncodingError:
+        raise
+    except (
+        IndexError,
+        KeyError,
+        ValueError,
+        OverflowError,
+        TypeMismatchError,  # e.g. a flipped scale byte on a non-DECIMAL dtype
+        struct.error,
+    ) as exc:
+        # Belt and braces behind the explicit checks: whatever slips
+        # through still surfaces as a structured storage error.
+        raise CorruptBlobError(f"malformed segment blob: {exc!r}") from exc
+
+
+def _deserialize_segment(blob: bytes) -> ColumnSegment:
+    _need(blob, 0, 6)
     if blob[:4] != _MAGIC:
         raise EncodingError("not a CSEG segment blob")
     if blob[4] != _VERSION:
@@ -147,6 +184,9 @@ def deserialize_segment(blob: bytes) -> ColumnSegment:
     flags = blob[5]
     pos = 6
 
+    _need(blob, pos, 3)
+    if blob[pos] not in _KIND_FROM_CODE:
+        raise CorruptBlobError(f"unknown type kind code {blob[pos]}")
     kind = _KIND_FROM_CODE[blob[pos]]
     scale = blob[pos + 1]
     has_length = blob[pos + 2]
@@ -159,6 +199,9 @@ def deserialize_segment(blob: bytes) -> ColumnSegment:
     row_count, pos = serde.read_varint(blob, pos)
     null_count, pos = serde.read_varint(blob, pos)
     raw_size, pos = serde.read_varint(blob, pos)
+    _need(blob, pos, 1)
+    if blob[pos] not in _SCHEME_FROM_CODE:
+        raise CorruptBlobError(f"unknown scheme code {blob[pos]}")
     scheme = _SCHEME_FROM_CODE[blob[pos]]
     pos += 1
 
@@ -203,11 +246,13 @@ def deserialize_segment(blob: bytes) -> ColumnSegment:
 
 
 def _read_stream(blob: bytes, pos: int):
+    _need(blob, pos, 1)
     stream_kind = blob[pos]
     pos += 1
     if stream_kind == _STREAM_RLE:
         count, pos = serde.read_varint(blob, pos)
         n_runs, pos = serde.read_varint(blob, pos)
+        _need(blob, pos, 2)
         value_width = blob[pos]
         length_width = blob[pos + 1]
         pos += 2
@@ -226,6 +271,7 @@ def _read_stream(blob: bytes, pos: int):
         )
     if stream_kind == _STREAM_BITPACK:
         count, pos = serde.read_varint(blob, pos)
+        _need(blob, pos, 1)
         width = blob[pos]
         pos += 1
         payload, pos = _read_bytes(blob, pos)
@@ -234,5 +280,9 @@ def _read_stream(blob: bytes, pos: int):
         count, pos = serde.read_varint(blob, pos)
         dtype_str, pos = _read_bytes(blob, pos)
         payload, pos = _read_bytes(blob, pos)
-        return RawBlock(count=count, dtype_str=dtype_str.decode("ascii"), payload=payload), pos
-    raise EncodingError(f"unknown stream kind {stream_kind}")
+        try:
+            dtype_decoded = dtype_str.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise CorruptBlobError(f"corrupt raw-block dtype string: {exc}") from exc
+        return RawBlock(count=count, dtype_str=dtype_decoded, payload=payload), pos
+    raise CorruptBlobError(f"unknown stream kind {stream_kind}")

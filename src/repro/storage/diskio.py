@@ -1,0 +1,224 @@
+"""Filesystem abstraction for crash-safe persistence.
+
+Every durable byte the persistence layer writes flows through a
+:class:`DiskIO` instance instead of raw :mod:`pathlib` calls. The default
+implementation provides the two primitives that the snapshot protocol's
+atomicity rests on:
+
+* :meth:`DiskIO.write_file` — write to a temporary sibling, flush,
+  ``fsync``, then atomically rename into place. A file is either fully
+  present under its final name or absent; a crash can only ever leave a
+  stray ``*.tmp`` file, which recovery garbage-collects.
+* :meth:`DiskIO.rename` — ``os.replace``, the atomic commit point.
+
+Because all I/O funnels through one small object, tests substitute
+:class:`FaultyDisk` to simulate crashes after N write operations, torn
+writes (only a prefix reaches the disk), silently lost renames, and bit
+flips on read — the machinery behind the crash-consistency suite in
+``tests/storage/test_crash_consistency.py``.
+
+The module also hosts :func:`crc32c` (CRC-32C/Castagnoli, the checksum
+the manifest records per file). It is a table-driven software
+implementation: persistence is not a hot path in this repo, and a
+dependency-free checksum keeps the container constraint satisfied.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+# ---------------------------------------------------------------------- #
+# CRC-32C (Castagnoli)
+# ---------------------------------------------------------------------- #
+def _build_crc32c_table() -> tuple[int, ...]:
+    poly = 0x82F63B78  # reversed Castagnoli polynomial
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ poly if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC32C_TABLE = _build_crc32c_table()
+
+
+def crc32c(data: bytes, value: int = 0) -> int:
+    """CRC-32C of ``data``; pass a previous result as ``value`` to chain."""
+    crc = value ^ 0xFFFFFFFF
+    table = _CRC32C_TABLE
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+class InjectedFault(BaseException):
+    """A simulated crash raised by :class:`FaultyDisk`.
+
+    Deliberately derives from :class:`BaseException` (not ``ReproError``,
+    not even ``Exception``) so no error-handling path in the engine can
+    accidentally swallow it — a real power cut is not catchable either.
+    """
+
+
+class DiskIO:
+    """Real filesystem access with atomic, durable file replacement."""
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def write_file(self, path: Path, data: bytes) -> None:
+        """Atomically (re)place ``path`` with ``data``.
+
+        Write-temp -> flush -> fsync -> atomic rename: after this returns
+        the file is durable; if it is interrupted the final name is
+        untouched and only a ``*.tmp`` sibling may remain.
+        """
+        path = Path(path)
+        self.mkdir(path.parent)
+        tmp = path.with_name(path.name + ".tmp")
+        self._write_bytes(tmp, data)
+        self.rename(tmp, path)
+
+    def _write_bytes(self, path: Path, data: bytes) -> None:
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def rename(self, src: Path, dst: Path) -> None:
+        os.replace(src, dst)
+        self._fsync_dir(Path(dst).parent)
+
+    def _fsync_dir(self, directory: Path) -> None:
+        # Persist the directory entry itself (best-effort: not all
+        # platforms allow opening a directory for fsync).
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        finally:
+            os.close(fd)
+
+    def mkdir(self, path: Path) -> None:
+        Path(path).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def read_file(self, path: Path) -> bytes:
+        return Path(path).read_bytes()
+
+    def exists(self, path: Path) -> bool:
+        return Path(path).exists()
+
+    def is_dir(self, path: Path) -> bool:
+        return Path(path).is_dir()
+
+    def listdir(self, path: Path) -> list[str]:
+        """Sorted entry names of a directory; ``[]`` if it is missing."""
+        try:
+            return sorted(os.listdir(path))
+        except FileNotFoundError:
+            return []
+
+    # ------------------------------------------------------------------ #
+    # Removal (garbage collection)
+    # ------------------------------------------------------------------ #
+    def remove(self, path: Path) -> None:
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+
+    def remove_tree(self, path: Path) -> None:
+        """Recursively delete a directory tree (missing is fine)."""
+        path = Path(path)
+        if not path.is_dir():
+            self.remove(path)
+            return
+        for name in self.listdir(path):
+            self.remove_tree(path / name)
+        try:
+            os.rmdir(path)
+        except OSError:  # pragma: no cover - raced or non-empty
+            pass
+
+
+class FaultyDisk(DiskIO):
+    """Deterministic fault injection for the crash-consistency suite.
+
+    Counts *write points* — every file-content write and every rename is
+    one operation. Fault knobs:
+
+    ``crash_after_ops=N``
+        the first N operations succeed, then the next one raises
+        :class:`InjectedFault` (N=0 crashes on the very first write).
+    ``torn_write_bytes=K``
+        when the crashing operation is a content write, the first K bytes
+        still reach the (temporary) file before the crash — a torn write.
+    ``drop_rename_of=substr``
+        renames whose destination contains ``substr`` silently do nothing
+        (a lost directory-entry update); the save continues believing the
+        rename happened.
+    ``flip_bit_on_read=(substr, byte_index, bit)``
+        reads of paths containing ``substr`` come back with one bit
+        flipped (``byte_index`` is taken modulo the file length).
+    """
+
+    def __init__(
+        self,
+        crash_after_ops: int | None = None,
+        torn_write_bytes: int | None = None,
+        drop_rename_of: str | None = None,
+        flip_bit_on_read: tuple[str, int, int] | None = None,
+    ) -> None:
+        self.crash_after_ops = crash_after_ops
+        self.torn_write_bytes = torn_write_bytes
+        self.drop_rename_of = drop_rename_of
+        self.flip_bit_on_read = flip_bit_on_read
+        self.ops = 0
+        self.dropped_renames: list[str] = []
+
+    def _maybe_crash(self, path: Path, data: bytes | None) -> None:
+        if self.crash_after_ops is None or self.ops < self.crash_after_ops:
+            return
+        if data is not None and self.torn_write_bytes is not None:
+            # Model a torn write: a prefix hits the platter, no fsync.
+            with open(path, "wb") as handle:
+                handle.write(data[: self.torn_write_bytes])
+        raise InjectedFault(
+            f"simulated crash at write point {self.ops} ({Path(path).name})"
+        )
+
+    def _write_bytes(self, path: Path, data: bytes) -> None:
+        self._maybe_crash(path, data)
+        super()._write_bytes(path, data)
+        self.ops += 1
+
+    def rename(self, src: Path, dst: Path) -> None:
+        self._maybe_crash(dst, None)
+        if self.drop_rename_of is not None and self.drop_rename_of in str(dst):
+            # The rename is lost: leave the temp file behind, report success.
+            self.dropped_renames.append(str(dst))
+            self.ops += 1
+            return
+        super().rename(src, dst)
+        self.ops += 1
+
+    def read_file(self, path: Path) -> bytes:
+        data = super().read_file(path)
+        if self.flip_bit_on_read is not None and data:
+            substr, byte_index, bit = self.flip_bit_on_read
+            if substr in str(path):
+                flipped = bytearray(data)
+                flipped[byte_index % len(flipped)] ^= 1 << (bit % 8)
+                return bytes(flipped)
+        return data

@@ -6,23 +6,30 @@ immutable blobs (one file per segment, written by
 the mutable side (delta stores, delete bitmap, row-store heaps) is
 serialized row-wise.
 
-Layout::
+All file access goes through the snapshot layer
+(:mod:`repro.storage.snapshot`): a *writer* with ``write(relpath, data)``
+that records sizes and checksums into the manifest, and a *reader* with
+``read(relpath)`` / ``exists(relpath)`` whose bytes were already
+checksum-verified. Layout inside a snapshot directory::
 
-    <root>/catalog.json                    tables, schemas, configs
-    <root>/<table>/meta.json               id counters, delta states
-    <root>/<table>/rowgroups/g<id>.<col>.seg
-    <root>/<table>/delta_<id>.rows
-    <root>/<table>/rowstore.rows
-    <root>/<table>/delete_bitmap.json
+    catalog.json                    tables, schemas, configs
+    <table>/meta.json               id counters, delta states
+    <table>/rowgroups/g<id>.<col>.seg
+    <table>/delta_<id>.rows
+    <table>/rowstore.rows
+    <table>/delete_bitmap.json
+
+Decode paths are bounds-checked: truncated or bit-flipped blobs raise
+:class:`~repro.errors.CorruptBlobError` (never ``IndexError``), and
+structurally broken metadata raises :class:`~repro.errors.RecoveryError`.
 """
 
 from __future__ import annotations
 
 import json
-from pathlib import Path
 from typing import Any
 
-from ..errors import StorageError
+from ..errors import CorruptBlobError, EncodingError, RecoveryError
 from ..schema import ColumnDef, TableSchema
 from ..types import DataType, TypeKind
 from . import serde
@@ -58,18 +65,39 @@ def serialize_rows(schema: TableSchema, rows: list[tuple[Any, ...]]) -> bytes:
 
 
 def deserialize_rows(schema: TableSchema, blob: bytes) -> list[tuple[Any, ...]]:
+    """Inverse of :func:`serialize_rows`, bounds-checked throughout."""
     count, pos = serde.read_varint(blob, 0)
     columns: list[list[Any]] = []
     for col in schema:
         flags = blob[pos : pos + count]
+        if len(flags) != count:
+            raise CorruptBlobError(
+                f"row blob truncated in null flags of column {col.name!r}: "
+                f"need {count} bytes, have {len(flags)}"
+            )
         pos += count
         length, pos = serde.read_varint(blob, pos)
+        if pos + length > len(blob):
+            raise CorruptBlobError(
+                f"row blob truncated in payload of column {col.name!r}: "
+                f"need {length} bytes at offset {pos}, have {len(blob) - pos}"
+            )
         non_null = serde.deserialize_values(blob[pos : pos + length], col.dtype)
         pos += length
+        expected = count - sum(flags)
+        if len(non_null) != expected:
+            raise CorruptBlobError(
+                f"row blob column {col.name!r} carries {len(non_null)} "
+                f"values but null flags promise {expected}"
+            )
         if col.dtype.kind is TypeKind.BOOL:
             non_null = [bool(v) for v in non_null]
         it = iter(non_null)
         columns.append([None if flag else next(it) for flag in flags])
+    if pos != len(blob):
+        raise CorruptBlobError(
+            f"row blob has {len(blob) - pos} trailing bytes after offset {pos}"
+        )
     return list(zip(*columns)) if columns else []
 
 
@@ -116,36 +144,46 @@ def config_from_json(data: dict) -> StoreConfig:
     return StoreConfig(**data)
 
 
+def _read_json(reader, relpath: str) -> Any:
+    """Parse a JSON metadata file; structural failure is a recovery error."""
+    try:
+        return json.loads(reader.read(relpath).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RecoveryError(f"unreadable metadata file {relpath}: {exc}") from exc
+
+
 # ---------------------------------------------------------------------- #
 # Columnstore index save/load
 # ---------------------------------------------------------------------- #
-def save_columnstore(index: ColumnStoreIndex, table_dir: Path) -> None:
-    groups_dir = table_dir / "rowgroups"
-    groups_dir.mkdir(parents=True, exist_ok=True)
+def save_columnstore(index: ColumnStoreIndex, writer, prefix: str) -> None:
+    """Write one columnstore's files under ``<prefix>/`` via ``writer``."""
     group_ids = []
     for group in index.directory.row_groups():
         group_ids.append(group.group_id)
         for column, segment in group.segments.items():
-            path = groups_dir / f"g{group.group_id}.{column}.seg"
-            path.write_bytes(serialize_segment(segment))
+            writer.write(
+                f"{prefix}/rowgroups/g{group.group_id}.{column}.seg",
+                serialize_segment(segment),
+            )
 
     delta_meta = []
     for delta in index.delta_stores():
-        rows = [row for _, row in delta.scan()]
-        row_ids = [row_id for row_id, _ in delta.scan()]
+        # One scan pass: ids and rows come from the same iteration, so
+        # they can never pair up rows from different tree states.
+        pairs = list(delta.scan())
         payload = bytearray()
-        serde.write_varint(payload, len(row_ids))
-        for row_id in row_ids:
+        serde.write_varint(payload, len(pairs))
+        for row_id, _ in pairs:
             serde.write_varint(payload, row_id)
-        payload += serialize_rows(index.schema, rows)
-        (table_dir / f"delta_{delta.delta_id}.rows").write_bytes(bytes(payload))
+        payload += serialize_rows(index.schema, [row for _, row in pairs])
+        writer.write(f"{prefix}/delta_{delta.delta_id}.rows", bytes(payload))
         delta_meta.append({"id": delta.delta_id, "open": delta.is_open})
 
     bitmap = {
         str(gid): sorted(index.delete_bitmap._deleted.get(gid, ()))
         for gid in index.delete_bitmap.groups_with_deletes()
     }
-    (table_dir / "delete_bitmap.json").write_text(json.dumps(bitmap))
+    writer.write(f"{prefix}/delete_bitmap.json", json.dumps(bitmap).encode("utf-8"))
 
     meta = {
         "group_ids": group_ids,
@@ -155,23 +193,30 @@ def save_columnstore(index: ColumnStoreIndex, table_dir: Path) -> None:
         "next_row_id": index._next_row_id,
         "open_delta_id": index._open_delta_id,
     }
-    (table_dir / "meta.json").write_text(json.dumps(meta))
+    writer.write(f"{prefix}/meta.json", json.dumps(meta).encode("utf-8"))
 
 
 def load_columnstore(
-    schema: TableSchema, config: StoreConfig, table_dir: Path
+    schema: TableSchema, config: StoreConfig, reader, prefix: str
 ) -> ColumnStoreIndex:
+    """Rebuild a columnstore from ``<prefix>/`` files of ``reader``."""
     index = ColumnStoreIndex(schema, config)
-    meta = json.loads((table_dir / "meta.json").read_text())
+    meta = _read_json(reader, f"{prefix}/meta.json")
 
-    groups_dir = table_dir / "rowgroups"
-    for group_id in meta["group_ids"]:
+    try:
+        group_ids = meta["group_ids"]
+        delta_entries = meta["deltas"]
+    except (KeyError, TypeError) as exc:
+        raise RecoveryError(f"malformed {prefix}/meta.json: {exc!r}") from exc
+
+    for group_id in group_ids:
         segments = {}
         for col in schema:
-            path = groups_dir / f"g{group_id}.{col.name}.seg"
-            if not path.exists():
-                raise StorageError(f"missing segment blob {path}")
-            segments[col.name] = deserialize_segment(path.read_bytes())
+            relpath = f"{prefix}/rowgroups/g{group_id}.{col.name}.seg"
+            try:
+                segments[col.name] = deserialize_segment(reader.read(relpath))
+            except EncodingError as exc:
+                raise CorruptBlobError(str(exc), path=relpath) from exc
         group = RowGroup(group_id=group_id, schema=schema, segments=segments)
         index.directory.add_row_group(group)
         # Re-intern dictionary values so global dictionaries match a
@@ -185,15 +230,24 @@ def load_columnstore(
                 )
     index.directory._next_group_id = meta["next_group_id"]
 
-    for entry in meta["deltas"]:
+    for entry in delta_entries:
+        relpath = f"{prefix}/delta_{entry['id']}.rows"
         delta = DeltaStore(entry["id"], schema, config.btree_order)
-        blob = (table_dir / f"delta_{entry['id']}.rows").read_bytes()
-        n, pos = serde.read_varint(blob, 0)
-        row_ids = []
-        for _ in range(n):
-            row_id, pos = serde.read_varint(blob, pos)
-            row_ids.append(row_id)
-        rows = deserialize_rows(schema, blob[pos:])
+        blob = reader.read(relpath)
+        try:
+            n, pos = serde.read_varint(blob, 0)
+            row_ids = []
+            for _ in range(n):
+                row_id, pos = serde.read_varint(blob, pos)
+                row_ids.append(row_id)
+            rows = deserialize_rows(schema, blob[pos:])
+        except EncodingError as exc:
+            raise CorruptBlobError(str(exc), path=relpath) from exc
+        if len(rows) != n:
+            raise CorruptBlobError(
+                f"delta blob promises {n} rows but carries {len(rows)}",
+                path=relpath,
+            )
         for row_id, row in zip(row_ids, rows):
             delta.insert(row_id, row)
         if not entry["open"]:
@@ -203,7 +257,7 @@ def load_columnstore(
     index._next_row_id = meta["next_row_id"]
     index._open_delta_id = meta["open_delta_id"]
 
-    bitmap = json.loads((table_dir / "delete_bitmap.json").read_text())
+    bitmap = _read_json(reader, f"{prefix}/delete_bitmap.json")
     for gid, positions in bitmap.items():
         index.delete_bitmap.mark_many(int(gid), positions)
     return index

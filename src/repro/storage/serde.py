@@ -36,6 +36,8 @@ def read_varint(payload: bytes, pos: int) -> tuple[int, int]:
         if not byte & 0x80:
             return result, pos
         shift += 7
+        if shift > 70:
+            raise EncodingError("malformed varint (too many continuation bytes)")
 
 
 def serialize_values(values: Sequence[Any], dtype: DataType) -> bytes:
@@ -57,20 +59,35 @@ def serialize_values(values: Sequence[Any], dtype: DataType) -> bytes:
 
 
 def deserialize_values(payload: bytes, dtype: DataType) -> list[Any]:
-    """Inverse of :func:`serialize_values`."""
+    """Inverse of :func:`serialize_values`.
+
+    Bounds-checked: truncated or bit-flipped payloads raise
+    :class:`EncodingError` — never ``IndexError``/``struct.error`` — so
+    corrupt blobs surface as structured storage errors.
+    """
     count, pos = read_varint(payload, 0)
     values: list[Any] = []
     if dtype.kind is TypeKind.VARCHAR:
         for _ in range(count):
             length, pos = read_varint(payload, pos)
-            values.append(payload[pos : pos + length].decode("utf-8"))
+            if pos + length > len(payload):
+                raise EncodingError(
+                    f"truncated string payload: need {length} bytes at "
+                    f"offset {pos}, have {len(payload) - pos}"
+                )
+            try:
+                values.append(payload[pos : pos + length].decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise EncodingError(f"corrupt utf-8 string payload: {exc}") from exc
             pos += length
-    elif dtype.kind is TypeKind.FLOAT:
-        for _ in range(count):
-            values.append(struct.unpack_from("<d", payload, pos)[0])
-            pos += 8
     else:
+        fmt = "<d" if dtype.kind is TypeKind.FLOAT else "<q"
+        if pos + 8 * count > len(payload):
+            raise EncodingError(
+                f"truncated value payload: need {8 * count} bytes at "
+                f"offset {pos}, have {len(payload) - pos}"
+            )
         for _ in range(count):
-            values.append(struct.unpack_from("<q", payload, pos)[0])
+            values.append(struct.unpack_from(fmt, payload, pos)[0])
             pos += 8
     return values

@@ -132,6 +132,33 @@ class TestRowSerialization:
         assert restored == physical
         assert isinstance(restored[0][0], bool)
 
+    def test_truncation_at_every_offset_is_structured(self):
+        from repro.errors import StorageError
+
+        sch = schema(("a", types.INT, False), ("b", types.VARCHAR))
+        physical = [sch.coerce_row(r) for r in [(1, "x"), (2, None), (3, "zzz")]]
+        blob = persist.serialize_rows(sch, physical)
+        for cut in range(len(blob)):
+            with pytest.raises(StorageError):
+                persist.deserialize_rows(sch, blob[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        from repro.errors import CorruptBlobError
+
+        sch = schema(("a", types.INT))
+        blob = persist.serialize_rows(sch, [sch.coerce_row((1,))])
+        with pytest.raises(CorruptBlobError):
+            persist.deserialize_rows(sch, blob + b"\x00")
+
+    def test_mismatched_null_flags_rejected(self):
+        from repro.errors import CorruptBlobError
+
+        sch = schema(("a", types.INT))
+        blob = bytearray(persist.serialize_rows(sch, [sch.coerce_row((7,))]))
+        blob[1] ^= 1  # flip the single null flag: payload now over-full
+        with pytest.raises(CorruptBlobError):
+            persist.deserialize_rows(sch, bytes(blob))
+
 
 @pytest.fixture
 def populated_db(tmp_path):

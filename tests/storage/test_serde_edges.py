@@ -43,6 +43,22 @@ class TestVarint:
         serde.write_varint(out, value)
         assert serde.read_varint(bytes(out), 0)[0] == value
 
+    def test_empty_payload_rejected(self):
+        with pytest.raises(EncodingError):
+            serde.read_varint(b"", 0)
+
+    def test_every_truncation_rejected(self):
+        out = bytearray()
+        serde.write_varint(out, 2**56 + 12345)
+        for cut in range(len(out)):
+            with pytest.raises(EncodingError):
+                serde.read_varint(bytes(out[:cut]), 0)
+
+    def test_endless_continuation_rejected(self):
+        # A corrupt run of continuation bytes must not loop unbounded.
+        with pytest.raises(EncodingError):
+            serde.read_varint(b"\x80" * 64, 0)
+
 
 class TestSerializeValues:
     def test_unicode_strings(self):
@@ -63,6 +79,48 @@ class TestSerializeValues:
     def test_empty_list(self):
         blob = serde.serialize_values([], types.INT)
         assert serde.deserialize_values(blob, types.INT) == []
+
+
+class TestShortPayloads:
+    """Truncated/corrupt payloads raise EncodingError, never
+    IndexError/struct.error — the bounds-checked decode paths."""
+
+    def test_truncated_string_payload(self):
+        blob = serde.serialize_values(["hello", "world"], types.VARCHAR)
+        for cut in range(1, len(blob)):
+            with pytest.raises(EncodingError):
+                serde.deserialize_values(blob[:cut], types.VARCHAR)
+
+    def test_truncated_numeric_payload(self):
+        for dtype in (types.BIGINT, types.FLOAT):
+            blob = serde.serialize_values([1, 2, 3], dtype)
+            for cut in range(1, len(blob)):
+                with pytest.raises(EncodingError):
+                    serde.deserialize_values(blob[:cut], dtype)
+
+    def test_string_length_overruns_payload(self):
+        # count=1, declared string length 100, but only 2 payload bytes.
+        payload = bytearray()
+        serde.write_varint(payload, 1)
+        serde.write_varint(payload, 100)
+        payload += b"ab"
+        with pytest.raises(EncodingError):
+            serde.deserialize_values(bytes(payload), types.VARCHAR)
+
+    def test_invalid_utf8_rejected(self):
+        payload = bytearray()
+        serde.write_varint(payload, 1)
+        serde.write_varint(payload, 2)
+        payload += b"\xff\xfe"  # not valid UTF-8
+        with pytest.raises(EncodingError):
+            serde.deserialize_values(bytes(payload), types.VARCHAR)
+
+    def test_count_overruns_numeric_payload(self):
+        payload = bytearray()
+        serde.write_varint(payload, 1_000_000)  # promises 8 MB of ints
+        payload += b"\x00" * 16
+        with pytest.raises(EncodingError):
+            serde.deserialize_values(bytes(payload), types.BIGINT)
 
 
 class TestXpressWindow:
