@@ -13,14 +13,17 @@ A small REPL over :class:`repro.Database` with psql-style meta-commands:
     \\analyze <query>     execute and show per-operator runtime stats
     \\stats on|off        append runtime stats to every query result
     \\timing on|off       print per-statement wall-clock time
-    \\save <dir>          persist the database
-    \\open <dir>          load a saved database
-    \\check <dir>         verify a saved database (checksums, decode)
+    \\save <dir>          persist the database (checkpoints the WAL)
+    \\open <dir>          open a database with a write-ahead log
+    \\check <dir>         verify a saved database (checksums, WAL, decode)
+    \\wal                 show write-ahead log status
+    \\durability <mode>   per-commit | group | off
     \\mover <table>       run the tuple mover
     \\rebuild <table>     rebuild the columnstore
     \\q                   quit
 
-Statements end with ``;`` and may span lines.
+``--durability <mode>`` on the command line sets the WAL mode the opened
+database uses. Statements end with ``;`` and may span lines.
 """
 
 from __future__ import annotations
@@ -68,11 +71,17 @@ def _format_value(value: Any) -> str:
 class Shell:
     """The REPL state machine (I/O-free core, testable directly)."""
 
-    def __init__(self, db: Database | None = None, stats: bool = False) -> None:
+    def __init__(
+        self,
+        db: Database | None = None,
+        stats: bool = False,
+        durability: str | None = None,
+    ) -> None:
         self.db = db or Database()
         self.mode = "auto"
         self.timing = False
         self.stats = stats
+        self.durability = durability  # WAL mode for \open, None = default
         self.running = True
         self._buffer: list[str] = []
 
@@ -139,6 +148,8 @@ class Shell:
             "\\save": self._meta_save,
             "\\open": self._meta_open,
             "\\check": self._meta_check,
+            "\\wal": self._meta_wal,
+            "\\durability": self._meta_durability,
             "\\mover": self._meta_mover,
             "\\rebuild": self._meta_rebuild,
             "\\help": self._meta_help,
@@ -245,13 +256,45 @@ class Shell:
     def _meta_open(self, arg: str) -> list[str]:
         if not arg:
             return ["usage: \\open <directory>"]
-        self.db = Database.load(arg)
-        return [f"opened {arg} ({len(self.db.catalog.table_names())} tables)"]
+        self.db.close()
+        self.db = Database.open(arg, durability=self.durability or "group")
+        out = [f"opened {arg} ({len(self.db.catalog.table_names())} tables)"]
+        if self.db.wal is not None:
+            status = self.db.wal.status()
+            out.append(
+                f"wal: durability={status['durability']}, "
+                f"last LSN {status['last_lsn']}"
+            )
+        return out
 
     def _meta_check(self, arg: str) -> list[str]:
         if not arg:
             return ["usage: \\check <directory>"]
         return Database.check(arg).render()
+
+    def _meta_wal(self, arg: str) -> list[str]:
+        if self.db.wal is None:
+            return ["no write-ahead log attached (use \\open <dir>)"]
+        status = self.db.wal.status()
+        return [
+            f"durability: {status['durability']} "
+            f"(group size {status['group_commit_size']})",
+            f"last LSN: {status['last_lsn']} "
+            f"(durable through {status['durable_lsn']}, "
+            f"{status['pending_commits']} commits pending)",
+            f"segments: {status['segments']} ({status['bytes']:,} bytes)",
+        ]
+
+    def _meta_durability(self, arg: str) -> list[str]:
+        if self.db.wal is None:
+            return ["no write-ahead log attached (use \\open <dir>)"]
+        if not arg:
+            return [f"durability is {self.db.wal.durability}"]
+        try:
+            self.db.set_durability(arg)
+        except ValueError as exc:
+            return [f"error: {exc}"]
+        return [f"durability set to {self.db.wal.durability}"]
 
     def _meta_mover(self, arg: str) -> list[str]:
         if not arg:
@@ -277,6 +320,14 @@ def main(argv: list[str] | None = None) -> int:
     args = list(argv) if argv is not None else sys.argv[1:]
     stats = "--stats" in args
     args = [a for a in args if a != "--stats"]
+    durability = None
+    if "--durability" in args:
+        at = args.index("--durability")
+        if at + 1 >= len(args):
+            print("usage: python -m repro [--durability per-commit|group|off] [dir]")
+            return 2
+        durability = args[at + 1]
+        del args[at : at + 2]
     if args and args[0] == "check":
         # `repro check <dir>`: offline integrity scan, exit 1 on failure.
         if len(args) < 2:
@@ -285,7 +336,7 @@ def main(argv: list[str] | None = None) -> int:
         report = Database.check(args[1])
         print("\n".join(report.render()))
         return 0 if report.ok else 1
-    shell = Shell(stats=stats)
+    shell = Shell(stats=stats, durability=durability)
     if args:
         print("\n".join(shell.run_meta(f"\\open {args[0]}")))
     print("repro SQL shell — \\help for commands, \\q to quit")
@@ -297,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
             break
         for out in shell.feed_line(line):
             print(out)
+    shell.db.close()
     return 0
 
 

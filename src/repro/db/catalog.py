@@ -60,7 +60,17 @@ class Table:
     # ------------------------------------------------------------------ #
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Validate and insert rows (trickle path); returns count."""
-        physical = [self.schema.coerce_row(row) for row in rows]
+        return self.insert_physical_rows(
+            [self.schema.coerce_row(row) for row in rows]
+        )
+
+    def insert_physical_rows(self, physical: Sequence[tuple[Any, ...]]) -> int:
+        """Insert rows that are *already coerced* to physical values.
+
+        WAL replay uses this path: coercion is not idempotent (DECIMAL
+        coercion scales ints), so redo records carry physical rows and
+        must not be coerced again.
+        """
         for row in physical:
             self._insert_physical(row)
         self._data_version += 1
@@ -76,7 +86,12 @@ class Table:
 
     def bulk_load(self, rows: Sequence[Sequence[Any]]) -> int:
         """Validate and load rows through the bulk path; returns count."""
-        physical = [self.schema.coerce_row(row) for row in rows]
+        return self.bulk_load_physical(
+            [self.schema.coerce_row(row) for row in rows]
+        )
+
+    def bulk_load_physical(self, physical: Sequence[tuple[Any, ...]]) -> int:
+        """Bulk-load already-coerced rows (the WAL replay path)."""
         if self.storage_kind is StorageKind.COLUMNSTORE:
             assert self.columnstore is not None
             self.columnstore.bulk_load(physical)

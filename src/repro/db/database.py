@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
-from ..errors import CatalogError, PlanningError
+from ..errors import CatalogError, PlanningError, StorageError
 from ..exec.expressions import Column, Expr
 from ..exec.operators.scan import ColumnStoreScan
 from ..exec.row_engine import RID_COLUMN, RowTableScan
@@ -28,6 +28,7 @@ from ..planner.schema_infer import infer_output_dtypes
 from ..schema import TableSchema
 from ..storage.config import StoreConfig
 from ..types import DataType
+from ..wal.record import WalRecordType
 from .catalog import Catalog, StorageKind, Table
 
 
@@ -75,6 +76,46 @@ class Database:
         self.catalog = Catalog()
         self.optimizer = Optimizer(self.catalog)
         self.default_config = default_config or StoreConfig()
+        # Write-ahead log, attached by open()/load(); facade statements
+        # append a redo record before mutating in-memory state. Direct
+        # Table-level mutations bypass the log — durability covers the
+        # facade surface, which is also what SQL goes through.
+        self._wal = None
+        self._wal_root: str | None = None
+        # Fingerprint of the state the last save/load at a path captured:
+        # save() skips rewriting an unchanged snapshot.
+        self._save_fingerprint: tuple | None = None
+        self._catalog_epoch = 0
+
+    # ------------------------------------------------------------------ #
+    # Write-ahead logging plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def wal(self):
+        """The attached :class:`~repro.wal.WriteAheadLog`, or ``None``."""
+        return self._wal
+
+    def _log(self, rtype: WalRecordType, table: str, payload: bytes) -> None:
+        """Append + commit one statement's redo record (no-op when no WAL).
+
+        Callers must have fully validated the statement first: a logged
+        record is a promise that replay can apply it.
+        """
+        if self._wal is not None:
+            self._wal.log_statement(rtype, table, payload)
+
+    def set_durability(self, mode: str) -> None:
+        """Switch the WAL durability mode (per-commit / group / off)."""
+        if self._wal is None:
+            raise StorageError(
+                "no write-ahead log attached (use Database.open to get one)"
+            )
+        self._wal.set_durability(mode)
+
+    def close(self) -> None:
+        """Flush any pending group-commit window. Safe to call twice."""
+        if self._wal is not None:
+            self._wal.close()
 
     # ------------------------------------------------------------------ #
     # DDL
@@ -88,12 +129,55 @@ class Database:
     ) -> Table:
         if isinstance(storage, str):
             storage = StorageKind(storage)
-        return self.catalog.create_table(
-            name, schema, storage, config or self.default_config
-        )
+        if self.catalog.has_table(name):
+            raise CatalogError(f"table {name!r} already exists")
+        config = config or self.default_config
+        if self._wal is not None:
+            from ..storage import persist
+            from ..wal import replay as walreplay
+
+            self._log(
+                WalRecordType.CREATE_TABLE,
+                name,
+                walreplay.encode_json(
+                    {
+                        "schema": persist.schema_to_json(schema),
+                        "storage": storage.value,
+                        "config": persist.config_to_json(config),
+                    }
+                ),
+            )
+        table = self.catalog.create_table(name, schema, storage, config)
+        self._catalog_epoch += 1
+        return table
 
     def drop_table(self, name: str) -> None:
+        if not self.catalog.has_table(name):
+            raise CatalogError(f"unknown table {name!r}")
+        self._log(WalRecordType.DROP_TABLE, name, b"")
         self.catalog.drop_table(name)
+        self._catalog_epoch += 1
+
+    def create_index(self, table: str, index_name: str, columns: list[str]):
+        """Create a secondary row-store index (the logged DDL path)."""
+        target = self.catalog.table(table)
+        if target.rowstore is None:
+            raise CatalogError(f"table {target.name!r} has no row store to index")
+        if index_name in target.indexes:
+            raise CatalogError(f"index {index_name!r} already exists")
+        if self._wal is not None:
+            from ..wal import replay as walreplay
+
+            self._log(
+                WalRecordType.CREATE_INDEX,
+                target.name,
+                walreplay.encode_json(
+                    {"name": index_name, "columns": list(columns)}
+                ),
+            )
+        index = target.create_index(index_name, list(columns))
+        self._catalog_epoch += 1
+        return index
 
     def table(self, name: str) -> Table:
         return self.catalog.table(name)
@@ -103,25 +187,61 @@ class Database:
     # ------------------------------------------------------------------ #
     def insert(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
         """Trickle-insert rows (columnstores route through delta stores)."""
-        return self.catalog.table(table).insert_rows(rows)
+        target = self.catalog.table(table)
+        physical = [target.schema.coerce_row(row) for row in rows]
+        if self._wal is not None:
+            from ..storage import persist
+
+            # Log the already-coerced rows: coercion is not idempotent
+            # (DECIMAL coercion scales ints), so replay must not redo it.
+            self._log(
+                WalRecordType.INSERT,
+                target.name,
+                persist.serialize_rows(target.schema, physical),
+            )
+        return target.insert_physical_rows(physical)
 
     def bulk_load(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
         """Bulk-load rows (large loads compress directly into row groups)."""
-        return self.catalog.table(table).bulk_load(rows)
+        target = self.catalog.table(table)
+        physical = [target.schema.coerce_row(row) for row in rows]
+        if self._wal is not None:
+            from ..storage import persist
+
+            self._log(
+                WalRecordType.BULK_LOAD,
+                target.name,
+                persist.serialize_rows(target.schema, physical),
+            )
+        return target.bulk_load_physical(physical)
 
     def delete_where(self, table: str, predicate: Expr | None) -> int:
         """DELETE ... WHERE: runs the predicate against every storage."""
         target = self.catalog.table(table)
-        deleted = 0
-        if target.rowstore is not None:
-            rids = self._matching_rids(target, predicate)
-            deleted = target.delete_by_locators(rids)
-        if target.columnstore is not None:
-            locators = self._matching_locators(target, predicate)
-            cs_deleted = target.delete_by_locators(locators)
-            if target.rowstore is None:
-                deleted = cs_deleted
-        return deleted
+        # Resolve the predicate to locators *before* logging: the redo
+        # record carries locators, not the predicate, so replay is
+        # independent of scan order (and predicates need no serializer).
+        rids = (
+            self._matching_rids(target, predicate)
+            if target.rowstore is not None
+            else []
+        )
+        locators = (
+            self._matching_locators(target, predicate)
+            if target.columnstore is not None
+            else []
+        )
+        if self._wal is not None and (rids or locators):
+            from ..wal import replay as walreplay
+
+            self._log(
+                WalRecordType.DELETE,
+                target.name,
+                walreplay.encode_json(walreplay.encode_locators(rids, locators)),
+            )
+        deleted = target.delete_by_locators(rids)
+        cs_deleted = target.delete_by_locators(locators)
+        return cs_deleted if target.rowstore is None else deleted
 
     def update_where(
         self,
@@ -162,8 +282,33 @@ class Database:
                 else:
                     new_row.append(target.schema.dtype(name).present(row_map[name]))
             new_rows.append(tuple(new_row))
-        self.delete_where(table, predicate)
-        target.insert_rows(new_rows)
+        physical_rows = [target.schema.coerce_row(row) for row in new_rows]
+        rids = (
+            self._matching_rids(target, predicate)
+            if target.rowstore is not None
+            else []
+        )
+        locators = (
+            self._matching_locators(target, predicate)
+            if target.columnstore is not None
+            else []
+        )
+        if self._wal is not None:
+            from ..wal import replay as walreplay
+
+            # One compound record: UPDATE is delete + insert, and losing
+            # one half of that to a crash would corrupt, so both travel
+            # in a single frame (the unit of atomicity).
+            self._log(
+                WalRecordType.UPDATE,
+                target.name,
+                walreplay.encode_update(
+                    target.schema, rids, locators, physical_rows
+                ),
+            )
+        target.delete_by_locators(rids)
+        target.delete_by_locators(locators)
+        target.insert_physical_rows(physical_rows)
         return len(new_rows)
 
     def _matching_rids(self, target: Table, predicate: Expr | None) -> list[Any]:
@@ -274,7 +419,23 @@ class Database:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: str, disk=None) -> None:
+    def _fingerprint(self, resolved_path: str) -> tuple:
+        """State identity used to skip re-saving an unchanged database.
+
+        Covers the target path, DDL history (catalog epoch) and every
+        table's data version. Direct ``Table.create_index`` calls bypass
+        the epoch — use :meth:`create_index` for skip-accurate DDL.
+        """
+        return (
+            resolved_path,
+            self._catalog_epoch,
+            tuple(
+                (name, self.catalog.table(name)._data_version)
+                for name in self.catalog.table_names()
+            ),
+        )
+
+    def save(self, path: str, disk=None, force: bool = False) -> None:
         """Persist the whole database to a directory, crash-safely.
 
         Compressed segments are written as immutable blobs (one file per
@@ -286,15 +447,40 @@ class Database:
         at any point leaves either the previous save or this one — never
         a hybrid. ``disk`` is the I/O abstraction (tests inject a
         :class:`~repro.storage.diskio.FaultyDisk`).
+
+        With a WAL attached, a save doubles as a **checkpoint**: the
+        manifest records the log's last LSN and every fully covered
+        segment is truncated afterwards. A save whose state is identical
+        to what the path already holds is skipped entirely (pass
+        ``force=True`` to override).
         """
         import json
         from pathlib import Path
 
+        from ..observability import registry as obs_metrics
         from ..storage import persist
         from ..storage.diskio import DiskIO
-        from ..storage.snapshot import SnapshotWriter
+        from ..storage.snapshot import MANIFEST_NAME, SnapshotWriter
 
-        writer = SnapshotWriter(disk or DiskIO(), Path(path))
+        disk = disk or DiskIO()
+        root = Path(path)
+        resolved = str(root.resolve())
+        fingerprint = self._fingerprint(resolved)
+        if (
+            not force
+            and fingerprint == self._save_fingerprint
+            and disk.exists(root / MANIFEST_NAME)
+        ):
+            obs_metrics.increment("storage.snapshot.saves_skipped")
+            return
+        wal = self._wal if self._wal is not None and self._wal_root == resolved else None
+        checkpoint_lsn = 0
+        if wal is not None:
+            # Everything the snapshot will contain must be durable in the
+            # log first, or a crash mid-save could lose committed work.
+            wal.flush()
+            checkpoint_lsn = wal.last_lsn
+        writer = SnapshotWriter(disk, root)
         catalog_entries = []
         for name in self.catalog.table_names():
             table = self.catalog.table(name)
@@ -320,10 +506,23 @@ class Database:
         writer.write(
             "catalog.json", json.dumps(catalog_entries, indent=1).encode("utf-8")
         )
-        writer.commit()
+        writer.commit(checkpoint_lsn=checkpoint_lsn)
+        if writer.committed:
+            # Only a read-back-verified manifest licenses destroying log
+            # segments (a dropped rename means the old snapshot is still
+            # the live one and its log tail is still needed).
+            if wal is not None:
+                wal.truncate_covered(checkpoint_lsn)
+            self._save_fingerprint = fingerprint
 
     @classmethod
-    def load(cls, path: str, disk=None) -> "Database":
+    def load(
+        cls,
+        path: str,
+        disk=None,
+        durability: str | None = None,
+        group_commit_size: int | None = None,
+    ) -> "Database":
         """Reopen a database saved with :meth:`save`.
 
         Locates the newest complete manifest, verifies every file's size
@@ -332,6 +531,11 @@ class Database:
         :class:`~repro.errors.CorruptBlobError` /
         :class:`~repro.errors.RecoveryError` naming the offending path
         on any corruption. Pre-manifest directories load unverified.
+
+        If the directory has a ``wal/`` log (or ``durability`` is given,
+        which requests one), the log is recovered and every record past
+        the snapshot's checkpoint LSN is replayed, then the log stays
+        attached so further statements are durable.
         """
         import json
         from pathlib import Path
@@ -340,30 +544,118 @@ class Database:
         from ..storage import persist
         from ..storage.diskio import DiskIO
         from ..storage.snapshot import open_database_reader
+        from ..wal.log import WAL_DIR_NAME, WriteAheadLog
 
-        reader = open_database_reader(disk or DiskIO(), Path(path))
+        disk = disk or DiskIO()
+        root = Path(path)
+        wal_dir = root / WAL_DIR_NAME
+        has_wal = disk.is_dir(wal_dir)
         try:
-            catalog_entries = json.loads(reader.read("catalog.json").decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise RecoveryError(f"unreadable catalog.json: {exc}") from exc
+            reader = open_database_reader(disk, root)
+        except RecoveryError:
+            if not has_wal:
+                raise
+            # No snapshot yet but a log exists: the database crashed
+            # before its first checkpoint — the log holds all state.
+            reader = None
         db = cls()
-        for entry in catalog_entries:
-            table_schema = persist.schema_from_json(entry["schema"])
-            config = persist.config_from_json(entry["config"])
-            table = db.create_table(
-                entry["name"], table_schema, storage=entry["storage"], config=config
+        checkpoint_lsn = 0
+        if reader is not None:
+            try:
+                catalog_entries = json.loads(
+                    reader.read("catalog.json").decode("utf-8")
+                )
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise RecoveryError(f"unreadable catalog.json: {exc}") from exc
+            for entry in catalog_entries:
+                table_schema = persist.schema_from_json(entry["schema"])
+                config = persist.config_from_json(entry["config"])
+                table = db.create_table(
+                    entry["name"], table_schema, storage=entry["storage"], config=config
+                )
+                if table.columnstore is not None:
+                    table.columnstore = persist.load_columnstore(
+                        table_schema, config, reader, table.name
+                    )
+                if table.rowstore is not None:
+                    rows = persist.deserialize_rows(
+                        table_schema, reader.read(f"{table.name}/rowstore.rows")
+                    )
+                    table.rowstore.insert_many(rows)
+                for index_name, columns in entry["indexes"].items():
+                    table.create_index(index_name, columns)
+            manifest = getattr(reader, "manifest", None)
+            if manifest is not None:
+                checkpoint_lsn = manifest.checkpoint_lsn
+        resolved = str(root.resolve())
+        if has_wal or durability is not None:
+            from ..wal import replay as walreplay
+
+            from ..wal.log import DEFAULT_GROUP_COMMIT_SIZE
+
+            wal, recovery = WriteAheadLog.attach(
+                disk,
+                wal_dir,
+                checkpoint_lsn=checkpoint_lsn,
+                durability=durability or "group",
+                group_commit_size=group_commit_size or DEFAULT_GROUP_COMMIT_SIZE,
             )
-            if table.columnstore is not None:
-                table.columnstore = persist.load_columnstore(
-                    table_schema, config, reader, table.name
-                )
-            if table.rowstore is not None:
-                rows = persist.deserialize_rows(
-                    table_schema, reader.read(f"{table.name}/rowstore.rows")
-                )
-                table.rowstore.insert_many(rows)
-            for index_name, columns in entry["indexes"].items():
-                table.create_index(index_name, columns)
+            replayed = walreplay.apply_records(db, recovery.replay_records)
+            # Attach only after replay so nothing replayed is re-logged.
+            db._wal = wal
+            db._wal_root = resolved
+            if replayed == 0 and reader is not None:
+                db._save_fingerprint = db._fingerprint(resolved)
+        else:
+            db._save_fingerprint = db._fingerprint(resolved)
+        return db
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        disk=None,
+        durability: str = "group",
+        group_commit_size: int | None = None,
+        default_config: StoreConfig | None = None,
+    ) -> "Database":
+        """Open a durable database at ``path``, creating it if absent.
+
+        The returned database has a write-ahead log attached: every
+        facade statement appends a redo record before applying, and
+        reopening after a crash replays the committed tail. ``save``
+        checkpoints the log.
+        """
+        from pathlib import Path
+
+        from ..storage.diskio import DiskIO
+        from ..storage.snapshot import MANIFEST_NAME
+        from ..wal.log import DEFAULT_GROUP_COMMIT_SIZE, WAL_DIR_NAME, WriteAheadLog
+
+        disk = disk or DiskIO()
+        root = Path(path)
+        existing = (
+            disk.exists(root / MANIFEST_NAME)
+            or disk.exists(root / "catalog.json")
+            or disk.is_dir(root / WAL_DIR_NAME)
+        )
+        if existing:
+            return cls.load(
+                path,
+                disk=disk,
+                durability=durability,
+                group_commit_size=group_commit_size,
+            )
+        db = cls(default_config)
+        wal, _ = WriteAheadLog.attach(
+            disk,
+            root / WAL_DIR_NAME,
+            checkpoint_lsn=0,
+            durability=durability,
+            group_commit_size=group_commit_size or DEFAULT_GROUP_COMMIT_SIZE,
+        )
+        db._wal = wal
+        db._wal_root = str(root.resolve())
         return db
 
     @staticmethod
@@ -386,11 +678,43 @@ class Database:
     # ------------------------------------------------------------------ #
     # Maintenance
     # ------------------------------------------------------------------ #
+    # Maintenance operations are deterministic reorganizations of index
+    # state, and they are *logged*: later DELETE/UPDATE records address
+    # rows by post-reorganization locators, so replay must reproduce the
+    # same reorganizations in the same order.
+    def _columnstore_table(self, name: str) -> Table:
+        target = self.catalog.table(name)
+        if target.columnstore is None:
+            raise CatalogError(f"table {target.name!r} has no columnstore index")
+        return target
+
     def run_tuple_mover(self, table: str, include_open: bool = False):
-        return self.catalog.table(table).run_tuple_mover(include_open)
+        target = self._columnstore_table(table)
+        if self._wal is not None:
+            from ..wal import replay as walreplay
+
+            self._log(
+                WalRecordType.TUPLE_MOVER,
+                target.name,
+                walreplay.encode_json({"include_open": bool(include_open)}),
+            )
+        return target.run_tuple_mover(include_open)
 
     def rebuild(self, table: str) -> None:
-        self.catalog.table(table).rebuild_columnstore()
+        target = self._columnstore_table(table)
+        if target.storage_kind is StorageKind.BOTH:
+            raise CatalogError("REBUILD on BOTH-storage tables is not supported")
+        self._log(WalRecordType.REBUILD, target.name, b"")
+        target.rebuild_columnstore()
 
     def set_archival(self, table: str, enabled: bool) -> None:
-        self.catalog.table(table).set_archival(enabled)
+        target = self._columnstore_table(table)
+        if self._wal is not None:
+            from ..wal import replay as walreplay
+
+            self._log(
+                WalRecordType.ARCHIVAL,
+                target.name,
+                walreplay.encode_json({"enabled": bool(enabled)}),
+            )
+        target.set_archival(enabled)

@@ -54,6 +54,37 @@ class RecoveryError(StorageError):
     """
 
 
+class WalCorruptError(StorageError):
+    """A write-ahead-log segment is damaged beyond the tolerated torn tail.
+
+    Raised when a bad record is followed by well-formed records (mid-log
+    corruption), when segments are non-contiguous (an LSN gap), or when
+    the log no longer connects to the snapshot's checkpoint LSN. The
+    message names the offending segment file and byte offset. A torn
+    *final* record is not an error — recovery truncates it.
+    """
+
+    def __init__(
+        self, message: str, segment: str | None = None, offset: int | None = None
+    ) -> None:
+        if segment is not None:
+            where = segment if offset is None else f"{segment} @ byte {offset}"
+            message = f"{where}: {message}"
+        super().__init__(message)
+        self.segment = segment
+        self.offset = offset
+
+
+class ReplayError(StorageError):
+    """Re-applying a structurally valid WAL record to the database failed.
+
+    Means the log and the snapshot diverged (a record references a table,
+    locator, or row the reconstructed state does not have) — distinct
+    from :class:`WalCorruptError`, which means bad bytes in the log
+    itself. The message names the record's LSN and type.
+    """
+
+
 class CatalogError(ReproError):
     """Unknown or duplicate table / column / index name."""
 

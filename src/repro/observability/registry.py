@@ -47,6 +47,17 @@ STABLE_COUNTERS = (
     "storage.recovery.files_verified",
     "storage.recovery.checksum_failures",
     "storage.recovery.snapshots_rolled_back",
+    "storage.snapshot.saves_skipped",
+    "storage.wal.records_appended",
+    "storage.wal.bytes_appended",
+    "storage.wal.commits",
+    "storage.wal.fsyncs",
+    "storage.wal.group_commit.batched_commits",
+    "storage.wal.segments_created",
+    "storage.wal.segments_deleted",
+    "storage.wal.checkpoints",
+    "storage.wal.replay.records",
+    "storage.wal.replay.torn_tails_truncated",
     "exec.spill.files",
     "exec.spill.batches",
     "exec.spill.rows",

@@ -6,6 +6,11 @@ Scans subtract marked rows; the tuple mover / REBUILD physically removes
 them. SQL Server keeps an in-memory bitmap backed by a B-tree on disk; we
 keep per-row-group Python sets with a vectorized mask materialization for
 batch scans.
+
+Redo determinism: marks are keyed by (group id, position), and group ids
+are assigned by deterministic maintenance operations that the WAL logs
+(:mod:`repro.wal.replay`), so replaying a DELETE record's locators on a
+replayed index marks exactly the rows the original statement marked.
 """
 
 from __future__ import annotations
@@ -72,6 +77,10 @@ class DeleteBitmap:
 
     def groups_with_deletes(self) -> list[int]:
         return sorted(gid for gid, positions in self._deleted.items() if positions)
+
+    def marks_for(self, group_id: int) -> list[int]:
+        """Sorted marked positions of one row group (persistence/WAL use)."""
+        return sorted(self._deleted.get(group_id, ()))
 
     @property
     def size_bytes(self) -> int:

@@ -6,6 +6,12 @@ paper. When a delta store reaches the close threshold it stops accepting
 inserts and waits for the tuple mover to compress it into a row group.
 Deletes against delta-store rows remove them in place (no delete-bitmap
 entry needed).
+
+Redo determinism: delta ids, row ids and the open/closed transitions are
+pure functions of the insert/close sequence, so WAL replay
+(:mod:`repro.wal.replay`) driving the same statements through the same
+thresholds reconstructs structurally identical delta stores — which is
+what lets later log records address rows by (delta id, position).
 """
 
 from __future__ import annotations

@@ -89,6 +89,32 @@ class DiskIO:
             handle.flush()
             os.fsync(handle.fileno())
 
+    def append_file(self, path: Path, data: bytes) -> None:
+        """Append ``data`` to ``path`` (created if missing), flushed to the
+        OS but **not** fsynced — durability is deferred to
+        :meth:`sync_file` so a write-ahead log can amortize fsyncs across
+        many appends (group commit)."""
+        path = Path(path)
+        self.mkdir(path.parent)
+        with open(path, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+
+    def sync_file(self, path: Path) -> None:
+        """fsync a file previously written with :meth:`append_file`."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def file_size(self, path: Path) -> int:
+        """Size of a file in bytes; 0 if it does not exist."""
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0
+
     def rename(self, src: Path, dst: Path) -> None:
         os.replace(src, dst)
         self._fsync_dir(Path(dst).parent)
@@ -171,6 +197,14 @@ class FaultyDisk(DiskIO):
     ``flip_bit_on_read=(substr, byte_index, bit)``
         reads of paths containing ``substr`` come back with one bit
         flipped (``byte_index`` is taken modulo the file length).
+    ``lose_unsynced_on_crash=True``
+        appends that were never followed by a :meth:`sync_file` are
+        rolled back (the file truncated to its last-synced length) when
+        the crash fires — the honest power-cut model for group commit,
+        where a commit is durable only once its fsync completed.
+
+    Every content write, append, fsync, and rename counts as one write
+    point, so crash sweeps cover the WAL's append/sync sequence too.
     """
 
     def __init__(
@@ -179,21 +213,34 @@ class FaultyDisk(DiskIO):
         torn_write_bytes: int | None = None,
         drop_rename_of: str | None = None,
         flip_bit_on_read: tuple[str, int, int] | None = None,
+        lose_unsynced_on_crash: bool = False,
     ) -> None:
         self.crash_after_ops = crash_after_ops
         self.torn_write_bytes = torn_write_bytes
         self.drop_rename_of = drop_rename_of
         self.flip_bit_on_read = flip_bit_on_read
+        self.lose_unsynced_on_crash = lose_unsynced_on_crash
         self.ops = 0
         self.dropped_renames: list[str] = []
+        self._synced_sizes: dict[str, int] = {}
 
-    def _maybe_crash(self, path: Path, data: bytes | None) -> None:
+    def _maybe_crash(
+        self, path: Path, data: bytes | None, append: bool = False
+    ) -> None:
         if self.crash_after_ops is None or self.ops < self.crash_after_ops:
             return
         if data is not None and self.torn_write_bytes is not None:
             # Model a torn write: a prefix hits the platter, no fsync.
-            with open(path, "wb") as handle:
+            self.mkdir(Path(path).parent)
+            with open(path, "ab" if append else "wb") as handle:
                 handle.write(data[: self.torn_write_bytes])
+        if self.lose_unsynced_on_crash:
+            # Un-fsynced appended bytes never reached the platter.
+            for unsynced_path, synced_size in self._synced_sizes.items():
+                try:
+                    os.truncate(unsynced_path, synced_size)
+                except OSError:  # pragma: no cover - file never created
+                    pass
         raise InjectedFault(
             f"simulated crash at write point {self.ops} ({Path(path).name})"
         )
@@ -201,6 +248,19 @@ class FaultyDisk(DiskIO):
     def _write_bytes(self, path: Path, data: bytes) -> None:
         self._maybe_crash(path, data)
         super()._write_bytes(path, data)
+        self.ops += 1
+
+    def append_file(self, path: Path, data: bytes) -> None:
+        self._maybe_crash(path, data, append=True)
+        if self.lose_unsynced_on_crash:
+            self._synced_sizes.setdefault(str(path), self.file_size(path))
+        super().append_file(path, data)
+        self.ops += 1
+
+    def sync_file(self, path: Path) -> None:
+        self._maybe_crash(path, None)
+        super().sync_file(path)
+        self._synced_sizes.pop(str(path), None)
         self.ops += 1
 
     def rename(self, src: Path, dst: Path) -> None:

@@ -180,7 +180,7 @@ def save_columnstore(index: ColumnStoreIndex, writer, prefix: str) -> None:
         delta_meta.append({"id": delta.delta_id, "open": delta.is_open})
 
     bitmap = {
-        str(gid): sorted(index.delete_bitmap._deleted.get(gid, ()))
+        str(gid): index.delete_bitmap.marks_for(gid)
         for gid in index.delete_bitmap.groups_with_deletes()
     }
     writer.write(f"{prefix}/delete_bitmap.json", json.dumps(bitmap).encode("utf-8"))

@@ -66,6 +66,10 @@ class ManifestEntry:
 class Manifest:
     snapshot_id: int
     files: list[ManifestEntry] = field(default_factory=list)
+    # Last WAL LSN whose effects this snapshot contains: replay-on-open
+    # skips records at or below it, and the checkpoint truncates segments
+    # it fully covers. 0 means "no WAL" (or a pre-WAL manifest).
+    checkpoint_lsn: int = 0
 
     @property
     def directory(self) -> str:
@@ -76,6 +80,7 @@ class Manifest:
             "format_version": MANIFEST_VERSION,
             "snapshot_id": self.snapshot_id,
             "directory": self.directory,
+            "checkpoint_lsn": self.checkpoint_lsn,
             "files": [
                 {"path": e.path, "size": e.size, "crc32c": f"{e.crc32c:08x}"}
                 for e in self.files
@@ -105,7 +110,11 @@ class Manifest:
                 )
                 for entry in body["files"]
             ]
-            return cls(snapshot_id=int(body["snapshot_id"]), files=files)
+            return cls(
+                snapshot_id=int(body["snapshot_id"]),
+                files=files,
+                checkpoint_lsn=int(body.get("checkpoint_lsn", 0)),
+            )
         except (RecoveryError, CorruptBlobError):
             raise
         except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
@@ -144,6 +153,9 @@ class SnapshotWriter:
         self.snapshot_id = self._next_snapshot_id()
         self._dir = self.root / _snapshot_dir_name(self.snapshot_id)
         self._entries: list[ManifestEntry] = []
+        # True once commit() verified the manifest rename actually stuck
+        # (callers gate destructive follow-ups — WAL truncation — on it).
+        self.committed = False
 
     def _next_snapshot_id(self) -> int:
         # Strictly greater than the committed snapshot AND any leftover
@@ -169,8 +181,12 @@ class SnapshotWriter:
             ManifestEntry(path=str(rel), size=len(data), crc32c=crc32c(data))
         )
 
-    def commit(self) -> Manifest:
-        manifest = Manifest(snapshot_id=self.snapshot_id, files=list(self._entries))
+    def commit(self, checkpoint_lsn: int = 0) -> Manifest:
+        manifest = Manifest(
+            snapshot_id=self.snapshot_id,
+            files=list(self._entries),
+            checkpoint_lsn=checkpoint_lsn,
+        )
         self.disk.write_file(self.root / MANIFEST_NAME, manifest.to_json())
         # Garbage collection is destructive, so read the manifest back
         # and only collect once it provably points at this snapshot — if
@@ -181,6 +197,7 @@ class SnapshotWriter:
         except (RecoveryError, CorruptBlobError):
             committed = None
         if committed is not None and committed.snapshot_id == self.snapshot_id:
+            self.committed = True
             collect_garbage(self.disk, self.root, keep_id=self.snapshot_id)
         return manifest
 
@@ -317,21 +334,27 @@ class FileVerdict:
 @dataclass
 class IntegrityReport:
     root: str
-    manifest_status: str  # ok | missing | corrupt | legacy
+    manifest_status: str  # ok | missing | corrupt | legacy | wal-only
     snapshot_id: int | None = None
     verdicts: list[FileVerdict] = field(default_factory=list)
     detail: str = ""
+    checkpoint_lsn: int = 0
+    wal_verdicts: list = field(default_factory=list)  # list[WalVerdict]
 
     @property
     def ok(self) -> bool:
-        return self.manifest_status == "ok" and all(v.ok for v in self.verdicts)
+        snapshot_ok = self.manifest_status in ("ok", "wal-only") and all(
+            v.ok for v in self.verdicts
+        )
+        return snapshot_ok and all(v.ok for v in self.wal_verdicts)
 
     def render(self) -> list[str]:
         lines = [f"integrity check of {self.root}"]
         if self.manifest_status == "ok":
             lines.append(
                 f"manifest: ok (snapshot {self.snapshot_id}, "
-                f"{len(self.verdicts)} files)"
+                f"{len(self.verdicts)} files, checkpoint LSN "
+                f"{self.checkpoint_lsn})"
             )
         else:
             lines.append(f"manifest: {self.manifest_status} {self.detail}".rstrip())
@@ -340,7 +363,16 @@ class IntegrityReport:
             if verdict.detail:
                 line += f" ({verdict.detail})"
             lines.append(line)
-        bad = sum(not v.ok for v in self.verdicts)
+        if self.wal_verdicts:
+            lines.append(f"wal: {len(self.wal_verdicts)} segment verdicts")
+            for verdict in self.wal_verdicts:
+                line = f"  wal/{verdict.segment}: {verdict.status}"
+                if verdict.detail:
+                    line += f" ({verdict.detail})"
+                lines.append(line)
+        bad = sum(not v.ok for v in self.verdicts) + sum(
+            not v.ok for v in self.wal_verdicts
+        )
         lines.append(
             "result: ok"
             if self.ok
@@ -356,13 +388,26 @@ def check_database(disk: DiskIO, root: Path) -> IntegrityReport:
     manifest self-checksum, per-file existence/size/CRC-32C, and that
     every segment blob structurally decodes.
     """
+    from ..wal.log import WAL_DIR_NAME, check_wal
+
     root = Path(root)
+    wal_dir = root / WAL_DIR_NAME
+    has_wal = disk.is_dir(wal_dir)
     if not disk.exists(root / MANIFEST_NAME):
         if disk.exists(root / "catalog.json"):
             return IntegrityReport(
                 root=str(root),
                 manifest_status="legacy",
                 detail="(pre-manifest layout: no checksums to verify)",
+            )
+        if has_wal:
+            # A database that crashed before its first checkpoint: the
+            # whole state lives in the log.
+            return IntegrityReport(
+                root=str(root),
+                manifest_status="wal-only",
+                detail="(no snapshot yet: all state is in the log)",
+                wal_verdicts=check_wal(disk, wal_dir, checkpoint_lsn=0),
             )
         return IntegrityReport(
             root=str(root), manifest_status="missing", detail="(no database here)"
@@ -375,7 +420,10 @@ def check_database(disk: DiskIO, root: Path) -> IntegrityReport:
         )
     assert manifest is not None
     report = IntegrityReport(
-        root=str(root), manifest_status="ok", snapshot_id=manifest.snapshot_id
+        root=str(root),
+        manifest_status="ok",
+        snapshot_id=manifest.snapshot_id,
+        checkpoint_lsn=manifest.checkpoint_lsn,
     )
     snap_dir = root / manifest.directory
     for entry in manifest.files:
@@ -399,6 +447,10 @@ def check_database(disk: DiskIO, root: Path) -> IntegrityReport:
         else:
             metrics.increment("storage.recovery.checksum_failures")
         report.verdicts.append(verdict)
+    if has_wal:
+        report.wal_verdicts = check_wal(
+            disk, wal_dir, checkpoint_lsn=manifest.checkpoint_lsn
+        )
     return report
 
 

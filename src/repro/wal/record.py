@@ -1,0 +1,183 @@
+"""WAL record framing: fixed-header frames with per-record CRC-32C.
+
+One log record is one committed statement (the facade never interleaves
+records of two statements inside a frame, so a frame is the unit of
+atomicity — there is no separate COMMIT marker to lose half of). The
+wire layout, little-endian throughout::
+
+    frame  := length:u32 | crc:u32 | body
+    body   := type:u8 | lsn:u64 | table_len:u16 | table:utf8 | payload
+
+``length`` counts the body bytes and ``crc`` is CRC-32C over the body,
+so a torn append (only a prefix of the frame reached the disk) is
+detected either by the frame extending past end-of-file or by a CRC
+mismatch. :func:`scan_segment` classifies the damage: a bad record that
+is the *last* thing in the segment is a torn tail (recovery truncates
+it); a bad record *followed by* a well-formed record is mid-log
+corruption (recovery refuses — valid data would be silently lost).
+
+LSNs are assigned contiguously (1-based); the scanner enforces that each
+record's LSN is exactly its predecessor's + 1, which catches spliced or
+reordered segments that per-record CRCs cannot.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from ..errors import WalCorruptError
+from ..storage.diskio import crc32c
+
+_FRAME_HEADER = struct.Struct("<II")  # body length, body crc32c
+_BODY_HEADER = struct.Struct("<BQH")  # record type, lsn, table-name length
+MIN_BODY_BYTES = _BODY_HEADER.size
+
+
+class WalRecordType(enum.IntEnum):
+    """Redo record types — one per mutating facade statement."""
+
+    CREATE_TABLE = 1
+    DROP_TABLE = 2
+    CREATE_INDEX = 3
+    INSERT = 4
+    BULK_LOAD = 5
+    DELETE = 6
+    UPDATE = 7
+    TUPLE_MOVER = 8
+    REBUILD = 9
+    ARCHIVAL = 10
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record."""
+
+    lsn: int
+    rtype: WalRecordType
+    table: str
+    payload: bytes
+
+
+@dataclass
+class SegmentDamage:
+    """Where and how a segment scan stopped early."""
+
+    kind: str  # "torn-tail" | "corrupt"
+    offset: int
+    detail: str
+
+
+@dataclass
+class SegmentScan:
+    """Result of scanning one segment: the valid prefix + any damage."""
+
+    records: list[WalRecord]
+    good_bytes: int  # byte offset of the end of the last valid record
+    damage: SegmentDamage | None = None
+
+
+def encode_record(rtype: WalRecordType, lsn: int, table: str, payload: bytes) -> bytes:
+    table_bytes = table.encode("utf-8")
+    body = _BODY_HEADER.pack(int(rtype), lsn, len(table_bytes)) + table_bytes + payload
+    return _FRAME_HEADER.pack(len(body), crc32c(body)) + body
+
+
+def _decode_body(body: bytes) -> WalRecord:
+    """Decode a CRC-verified body; raises ``ValueError`` on bad structure."""
+    rtype_raw, lsn, table_len = _BODY_HEADER.unpack_from(body, 0)
+    if MIN_BODY_BYTES + table_len > len(body):
+        raise ValueError(f"table name ({table_len} bytes) overruns the body")
+    table = body[MIN_BODY_BYTES : MIN_BODY_BYTES + table_len].decode("utf-8")
+    return WalRecord(
+        lsn=lsn,
+        rtype=WalRecordType(rtype_raw),
+        table=table,
+        payload=body[MIN_BODY_BYTES + table_len :],
+    )
+
+
+def _record_at(data: bytes, pos: int) -> tuple[WalRecord, int] | str:
+    """Decode the record at ``pos``; returns (record, end) or a reason string."""
+    if len(data) - pos < _FRAME_HEADER.size:
+        return f"only {len(data) - pos} bytes left, frame header needs 8"
+    length, crc = _FRAME_HEADER.unpack_from(data, pos)
+    body_start = pos + _FRAME_HEADER.size
+    if length > len(data) - body_start:
+        return (
+            f"frame claims {length} body bytes but only "
+            f"{len(data) - body_start} remain"
+        )
+    body = data[body_start : body_start + length]
+    if crc32c(body) != crc:
+        return "record CRC-32C mismatch"
+    if length < MIN_BODY_BYTES:
+        return f"body of {length} bytes is below the {MIN_BODY_BYTES}-byte minimum"
+    try:
+        record = _decode_body(body)
+    except (ValueError, UnicodeDecodeError) as exc:
+        return f"undecodable body: {exc}"
+    return record, body_start + length
+
+
+def scan_segment(data: bytes, first_lsn: int, source: str = "<segment>") -> SegmentScan:
+    """Parse every record of one segment, classifying any damage.
+
+    ``first_lsn`` is the LSN the segment's first record must carry (it is
+    encoded in the segment's file name). The scan stops at the first bad
+    record; whether that is a tolerable torn tail or hard corruption is
+    decided by looking *past* it — real data after a bad record means
+    truncating would silently lose committed statements, so that case is
+    reported as ``corrupt`` and recovery refuses to open the log.
+    """
+    records: list[WalRecord] = []
+    pos = 0
+    expected_lsn = first_lsn
+    while pos < len(data):
+        outcome = _record_at(data, pos)
+        if isinstance(outcome, str):
+            kind = "corrupt" if _valid_record_after(data, pos) else "torn-tail"
+            return SegmentScan(
+                records, pos, SegmentDamage(kind, pos, outcome)
+            )
+        record, end = outcome
+        if record.lsn != expected_lsn:
+            return SegmentScan(
+                records,
+                pos,
+                SegmentDamage(
+                    "corrupt",
+                    pos,
+                    f"LSN {record.lsn} where {expected_lsn} was expected "
+                    "(log sequence broken)",
+                ),
+            )
+        records.append(record)
+        expected_lsn = record.lsn + 1
+        pos = end
+    return SegmentScan(records, pos)
+
+
+def _valid_record_after(data: bytes, bad_pos: int) -> bool:
+    """Does a well-formed record exist after the bad one at ``bad_pos``?
+
+    Checks the position the bad frame's length field claims (the common
+    mid-log bit-flip case: the CRC or body was hit but the length is
+    intact, so the next frame still starts where it should).
+    """
+    if len(data) - bad_pos < _FRAME_HEADER.size:
+        return False
+    length, _ = _FRAME_HEADER.unpack_from(data, bad_pos)
+    claimed_end = bad_pos + _FRAME_HEADER.size + length
+    if claimed_end >= len(data):
+        return False
+    return not isinstance(_record_at(data, claimed_end), str)
+
+
+def require_clean_scan(scan: SegmentScan, source: str) -> None:
+    """Raise :class:`WalCorruptError` if a scan found hard corruption."""
+    if scan.damage is not None and scan.damage.kind == "corrupt":
+        raise WalCorruptError(
+            scan.damage.detail, segment=source, offset=scan.damage.offset
+        )

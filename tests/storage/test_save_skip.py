@@ -1,0 +1,117 @@
+"""save() skips rewriting snapshots whose state the path already holds."""
+
+import pytest
+
+from repro import Database, StoreConfig
+from repro.observability import MetricsRegistry
+from repro.observability.registry import set_registry
+from repro.storage.diskio import DiskIO
+from repro.storage.snapshot import load_manifest
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    previous = set_registry(reg)
+    yield reg
+    set_registry(previous)
+
+
+def build_db() -> Database:
+    db = Database(StoreConfig(rowgroup_size=16, bulk_load_threshold=8))
+    db.sql("CREATE TABLE t (a INT NOT NULL, b VARCHAR)")
+    db.bulk_load("t", [(i, f"v{i}") for i in range(20)])
+    db.sql("CREATE TABLE u (k INT) USING rowstore")
+    db.insert("u", [(1,), (2,)])
+    return db
+
+
+def snapshot_id(target) -> int:
+    return load_manifest(DiskIO(), target).snapshot_id
+
+
+class TestSkipUnchanged:
+    def test_resave_of_unchanged_db_is_skipped(self, tmp_path, registry):
+        db = build_db()
+        target = tmp_path / "db"
+        db.save(str(target))
+        first = snapshot_id(target)
+        db.save(str(target))
+        assert snapshot_id(target) == first  # no new snapshot written
+        assert registry.counter("storage.snapshot.saves_skipped") == 1
+
+    def test_mutation_invalidates_skip(self, tmp_path, registry):
+        db = build_db()
+        target = tmp_path / "db"
+        db.save(str(target))
+        db.insert("t", [(100, "new")])
+        db.save(str(target))
+        assert snapshot_id(target) == 2
+        assert registry.counter("storage.snapshot.saves_skipped") == 0
+
+    def test_ddl_invalidates_skip(self, tmp_path, registry):
+        db = build_db()
+        target = tmp_path / "db"
+        db.save(str(target))
+        db.create_index("u", "by_k", ["k"])
+        db.save(str(target))
+        assert snapshot_id(target) == 2
+        assert registry.counter("storage.snapshot.saves_skipped") == 0
+
+    def test_load_then_save_same_path_is_skipped(self, tmp_path, registry):
+        """The headline bug: reopening a database and saving it back used
+        to rewrite every blob."""
+        build_db().save(str(tmp_path / "db"))
+        loaded = Database.load(str(tmp_path / "db"))
+        loaded.save(str(tmp_path / "db"))
+        assert snapshot_id(tmp_path / "db") == 1
+        assert registry.counter("storage.snapshot.saves_skipped") == 1
+
+    def test_save_to_different_path_still_writes(self, tmp_path, registry):
+        build_db().save(str(tmp_path / "a"))
+        loaded = Database.load(str(tmp_path / "a"))
+        loaded.save(str(tmp_path / "b"))
+        assert snapshot_id(tmp_path / "b") == 1
+        assert registry.counter("storage.snapshot.saves_skipped") == 0
+
+    def test_force_overrides_skip(self, tmp_path, registry):
+        db = build_db()
+        target = tmp_path / "db"
+        db.save(str(target))
+        db.save(str(target), force=True)
+        assert snapshot_id(target) == 2
+        assert registry.counter("storage.snapshot.saves_skipped") == 0
+
+    def test_externally_cleared_directory_is_rewritten(self, tmp_path, registry):
+        """Skipping is guarded by the manifest actually being there."""
+        import shutil
+
+        db = build_db()
+        target = tmp_path / "db"
+        db.save(str(target))
+        shutil.rmtree(target)
+        db.save(str(target))
+        assert snapshot_id(target) >= 1
+        assert registry.counter("storage.snapshot.saves_skipped") == 0
+
+    def test_fresh_database_never_skips_first_save(self, tmp_path, registry):
+        db = build_db()
+        db.save(str(tmp_path / "db"))
+        assert registry.counter("storage.snapshot.saves_skipped") == 0
+
+    def test_replayed_wal_records_invalidate_skip(self, tmp_path, registry):
+        target = tmp_path / "db"
+        db = Database.open(str(target))
+        db.sql("CREATE TABLE t (a INT)")
+        db.save(str(target))
+        db.insert("t", [(1,)])  # logged, not checkpointed
+        db.close()
+        # Reopen replays one record: the snapshot is stale, so the next
+        # save must write.
+        reopened = Database.open(str(target))
+        reopened.save(str(target))
+        assert snapshot_id(target) == 2
+        assert registry.counter("storage.snapshot.saves_skipped") == 0
+        # And now that the snapshot covers the log, a re-save skips.
+        reopened.save(str(target))
+        assert registry.counter("storage.snapshot.saves_skipped") == 1

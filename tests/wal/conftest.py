@@ -1,0 +1,13 @@
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.observability.registry import set_registry
+
+
+@pytest.fixture
+def registry():
+    """A fresh metrics registry installed for the duration of one test."""
+    reg = MetricsRegistry()
+    previous = set_registry(reg)
+    yield reg
+    set_registry(previous)

@@ -1,0 +1,216 @@
+"""The segmented log: durability modes, group commit, rotation, checking."""
+
+import pytest
+
+from repro.errors import WalCorruptError
+from repro.storage.diskio import DiskIO
+from repro.wal.log import WriteAheadLog, check_wal, normalize_durability
+from repro.wal.record import WalRecordType
+
+
+def open_wal(tmp_path, **kwargs):
+    wal, recovery = WriteAheadLog.attach(DiskIO(), tmp_path / "wal", **kwargs)
+    return wal, recovery
+
+
+def log_n(wal, n, start=0):
+    for i in range(n):
+        wal.log_statement(WalRecordType.INSERT, "t", b"row-%d" % (start + i))
+
+
+class TestDurabilityModes:
+    def test_normalize_accepts_aliases(self):
+        assert normalize_durability("fsync-per-commit") == "per-commit"
+        assert normalize_durability("fsync") == "per-commit"
+        with pytest.raises(ValueError, match="unknown durability"):
+            normalize_durability("yolo")
+
+    def test_per_commit_fsyncs_every_statement(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, durability="per-commit")
+        log_n(wal, 10)
+        assert registry.counter("storage.wal.commits") == 10
+        assert registry.counter("storage.wal.fsyncs") == 10
+        assert wal.durable_lsn == wal.last_lsn == 10
+
+    def test_group_commit_amortizes_fsyncs(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, durability="group", group_commit_size=8)
+        log_n(wal, 32)
+        assert registry.counter("storage.wal.commits") == 32
+        assert registry.counter("storage.wal.fsyncs") == 32 // 8
+        assert registry.counter("storage.wal.group_commit.batched_commits") == 32
+        assert wal.durable_lsn == 32
+
+    def test_off_never_fsyncs_on_commit(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, durability="off")
+        log_n(wal, 20)
+        assert registry.counter("storage.wal.fsyncs") == 0
+        assert wal.durable_lsn == 0
+        wal.flush()
+        assert registry.counter("storage.wal.fsyncs") == 1
+        assert wal.durable_lsn == 20
+
+    def test_commit_piggybacks_on_earlier_fsync(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, durability="per-commit")
+        log_n(wal, 1)
+        fsyncs = registry.counter("storage.wal.fsyncs")
+        wal.commit()  # nothing new appended: already durable
+        assert registry.counter("storage.wal.fsyncs") == fsyncs
+
+    def test_tightening_mode_flushes_backlog(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, durability="off")
+        log_n(wal, 5)
+        assert wal.durable_lsn == 0
+        wal.set_durability("per-commit")
+        assert wal.durable_lsn == 5
+
+    def test_close_flushes_pending_window(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, durability="group", group_commit_size=100)
+        log_n(wal, 3)
+        assert wal.durable_lsn == 0
+        wal.close()
+        assert wal.durable_lsn == 3
+
+
+class TestRotation:
+    def test_segments_rotate_at_size_threshold(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, segment_bytes=64)
+        log_n(wal, 10)
+        wal.flush()
+        names = sorted(p.name for p in (tmp_path / "wal").iterdir())
+        assert len(names) > 1
+        assert names[0] == "seg_000000000001.wal"
+        # Reattach: records survive rotation, LSNs contiguous.
+        wal2, recovery = open_wal(tmp_path, segment_bytes=64)
+        assert [r.lsn for r in recovery.replay_records] == list(range(1, 11))
+        assert wal2.last_lsn == 10
+
+    def test_append_continues_after_reattach(self, tmp_path):
+        wal, _ = open_wal(tmp_path)
+        log_n(wal, 4)
+        wal.flush()
+        wal2, _ = open_wal(tmp_path)
+        log_n(wal2, 2, start=4)
+        wal2.flush()
+        _, recovery = open_wal(tmp_path)
+        assert [r.lsn for r in recovery.replay_records] == [1, 2, 3, 4, 5, 6]
+
+    def test_missing_middle_segment_refuses(self, tmp_path):
+        wal, _ = open_wal(tmp_path, segment_bytes=64)
+        log_n(wal, 10)
+        wal.flush()
+        names = sorted(p.name for p in (tmp_path / "wal").iterdir())
+        assert len(names) >= 3
+        (tmp_path / "wal" / names[1]).unlink()
+        with pytest.raises(WalCorruptError, match="missing segment"):
+            open_wal(tmp_path)
+
+
+class TestTruncateCovered:
+    def test_covered_segments_are_deleted(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, segment_bytes=64)
+        log_n(wal, 10)
+        wal.flush()
+        before = len(list((tmp_path / "wal").iterdir()))
+        assert before > 2
+        removed = wal.truncate_covered(wal.last_lsn)
+        assert removed == before
+        assert list((tmp_path / "wal").iterdir()) == []
+        assert registry.counter("storage.wal.segments_deleted") == removed
+        # The log keeps appending after a full truncation.
+        log_n(wal, 1, start=10)
+        wal.flush()
+        _, recovery = open_wal(tmp_path, checkpoint_lsn=10)
+        assert [r.lsn for r in recovery.replay_records] == [11]
+
+    def test_partial_checkpoint_keeps_tail_segments(self, tmp_path, registry):
+        wal, _ = open_wal(tmp_path, segment_bytes=64)
+        log_n(wal, 10)
+        wal.flush()
+        tail_first = max(
+            int(p.name[4:16]) for p in (tmp_path / "wal").iterdir()
+        )
+        wal.truncate_covered(tail_first - 1)
+        remaining = sorted(p.name for p in (tmp_path / "wal").iterdir())
+        assert remaining and all(int(n[4:16]) >= tail_first for n in remaining)
+        _, recovery = open_wal(tmp_path, checkpoint_lsn=tail_first - 1)
+        assert [r.lsn for r in recovery.replay_records] == list(
+            range(tail_first, 11)
+        )
+
+
+class TestStatus:
+    def test_status_reports_log_shape(self, tmp_path):
+        wal, _ = open_wal(tmp_path, durability="group", group_commit_size=8)
+        log_n(wal, 3)
+        status = wal.status()
+        assert status["durability"] == "group"
+        assert status["last_lsn"] == 3
+        assert status["durable_lsn"] == 0
+        assert status["pending_commits"] == 3
+        assert status["segments"] == 1
+        assert status["bytes"] > 0
+
+
+class TestCheckWal:
+    def test_clean_log_is_ok(self, tmp_path):
+        wal, _ = open_wal(tmp_path)
+        log_n(wal, 5)
+        wal.flush()
+        verdicts = check_wal(DiskIO(), tmp_path / "wal", checkpoint_lsn=0)
+        assert [v.status for v in verdicts] == ["ok"]
+        assert "LSN 1..5" in verdicts[0].detail
+
+    def test_stale_segment_reported(self, tmp_path):
+        wal, _ = open_wal(tmp_path)
+        log_n(wal, 5)
+        wal.flush()
+        verdicts = check_wal(DiskIO(), tmp_path / "wal", checkpoint_lsn=5)
+        assert [v.status for v in verdicts] == ["stale"]
+        assert all(v.ok for v in verdicts)
+
+    def test_torn_tail_reported_with_offset(self, tmp_path):
+        wal, _ = open_wal(tmp_path)
+        log_n(wal, 3)
+        wal.flush()
+        seg = next((tmp_path / "wal").iterdir())
+        seg.write_bytes(seg.read_bytes()[:-2])
+        verdicts = check_wal(DiskIO(), tmp_path / "wal", checkpoint_lsn=0)
+        assert verdicts[0].status == "torn-tail" and verdicts[0].ok
+        assert "byte" in verdicts[0].detail
+
+    def test_mid_log_corruption_reported(self, tmp_path):
+        wal, _ = open_wal(tmp_path)
+        log_n(wal, 3)
+        wal.flush()
+        seg = next((tmp_path / "wal").iterdir())
+        data = bytearray(seg.read_bytes())
+        data[12] ^= 0xFF  # first record's body; later records stay valid
+        seg.write_bytes(bytes(data))
+        verdicts = check_wal(DiskIO(), tmp_path / "wal", checkpoint_lsn=0)
+        assert verdicts[0].status == "corrupt" and not verdicts[0].ok
+
+    def test_checkpoint_gap_reported(self, tmp_path):
+        wal, _ = open_wal(tmp_path)
+        log_n(wal, 5)
+        wal.flush()
+        # A checkpoint of 2 needs replay from LSN 3, but the log starts
+        # at 1 — fine. A checkpoint BEHIND the log start is the gap case.
+        verdicts = check_wal(DiskIO(), tmp_path / "wal", checkpoint_lsn=0)
+        assert all(v.ok for v in verdicts)
+        wal.truncate_covered(5)
+        log_n(wal, 2, start=5)
+        wal.flush()
+        verdicts = check_wal(DiskIO(), tmp_path / "wal", checkpoint_lsn=3)
+        gap = [v for v in verdicts if v.status == "checkpoint-gap"]
+        assert gap and "6..5" not in gap[0].detail
+        assert not gap[0].ok
+
+    def test_lsn_gap_between_segments_reported(self, tmp_path):
+        wal, _ = open_wal(tmp_path, segment_bytes=64)
+        log_n(wal, 10)
+        wal.flush()
+        names = sorted(p.name for p in (tmp_path / "wal").iterdir())
+        assert len(names) >= 3
+        (tmp_path / "wal" / names[1]).unlink()
+        verdicts = check_wal(DiskIO(), tmp_path / "wal", checkpoint_lsn=0)
+        assert any(v.status == "lsn-gap" and not v.ok for v in verdicts)
