@@ -22,7 +22,7 @@ Quickstart::
 from . import types
 from .db.catalog import StorageKind, Table
 from .db.database import Database, Result
-from .errors import CorruptBlobError, RecoveryError, ReproError
+from .errors import CorruptBlobError, RecoveryError, ReproError, TxnError
 from .observability import ExecutionStats, MetricsRegistry, get_registry
 from .schema import ColumnDef, TableSchema, schema
 from .storage.columnstore import ColumnStoreIndex
@@ -44,6 +44,7 @@ __all__ = [
     "StoreConfig",
     "Table",
     "TableSchema",
+    "TxnError",
     "get_registry",
     "schema",
     "types",

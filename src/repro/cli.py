@@ -104,7 +104,11 @@ class Shell:
 
     @property
     def prompt(self) -> str:
-        return "   ...> " if self._buffer else "repro=> "
+        if self._buffer:
+            return "   ...> "
+        # The `*` marks an open transaction (psql's convention): work is
+        # applied but not yet committed.
+        return "repro*=> " if self.db.in_transaction else "repro=> "
 
     # ------------------------------------------------------------------ #
     # SQL statements
@@ -225,7 +229,21 @@ class Shell:
         elif arg == "off":
             self.stats = False
         else:
-            return [f"stats is {'on' if self.stats else 'off'}"]
+            from .observability import registry as metrics
+
+            registry = metrics.get_registry()
+            out = [f"stats is {'on' if self.stats else 'off'}"]
+            out.append(
+                "transactions: "
+                f"{registry.counter('txn.begins'):.0f} begun, "
+                f"{registry.counter('txn.commits'):.0f} committed, "
+                f"{registry.counter('txn.rollbacks'):.0f} rolled back, "
+                f"{registry.counter('txn.statement_rollbacks'):.0f} "
+                "statement rollbacks"
+            )
+            if self.db.in_transaction:
+                out.append("a transaction is open (COMMIT or ROLLBACK to end it)")
+            return out
         return [f"stats {'on' if self.stats else 'off'}"]
 
     def _meta_timing(self, arg: str) -> list[str]:
@@ -329,16 +347,32 @@ def main(argv: list[str] | None = None) -> int:
         durability = args[at + 1]
         del args[at : at + 2]
     if args and args[0] == "check":
-        # `repro check <dir>`: offline integrity scan, exit 1 on failure.
+        # `repro check <dir>`: offline integrity scan. Exit 0 only when
+        # the report is clean — corruption, a missing directory, or a
+        # scan that itself blows up must all fail the invocation, so CI
+        # and scripts can gate on the status code.
         if len(args) < 2:
             print("usage: python -m repro check <directory>")
             return 2
-        report = Database.check(args[1])
+        try:
+            report = Database.check(args[1])
+        except (ReproError, OSError) as exc:
+            print(f"check failed: {exc}")
+            return 1
         print("\n".join(report.render()))
         return 0 if report.ok else 1
     shell = Shell(stats=stats, durability=durability)
     if args:
-        print("\n".join(shell.run_meta(f"\\open {args[0]}")))
+        # Opening the named database must succeed or the invocation
+        # fails — silently continuing with an empty in-memory database
+        # (and exit 0) would let scripts write into the void.
+        try:
+            print("\n".join(shell.run_meta(f"\\open {args[0]}")))
+        except ReproError as exc:
+            print(f"error: {exc}")
+            return 1
+        if shell.db.wal is None:
+            return 1
     print("repro SQL shell — \\help for commands, \\q to quit")
     while shell.running:
         try:

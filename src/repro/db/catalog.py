@@ -64,25 +64,31 @@ class Table:
             [self.schema.coerce_row(row) for row in rows]
         )
 
-    def insert_physical_rows(self, physical: Sequence[tuple[Any, ...]]) -> int:
+    def insert_physical_rows(self, physical: Sequence[tuple[Any, ...]], txn=None) -> int:
         """Insert rows that are *already coerced* to physical values.
 
         WAL replay uses this path: coercion is not idempotent (DECIMAL
         coercion scales ints), so redo records carry physical rows and
-        must not be coerced again.
+        must not be coerced again. With a transaction context every
+        mutation point records its physical undo.
         """
         for row in physical:
-            self._insert_physical(row)
-        self._data_version += 1
+            self._insert_physical(row, txn)
+        self._bump_data_version(txn)
         return len(physical)
 
-    def _insert_physical(self, row: tuple[Any, ...]) -> None:
+    def _insert_physical(self, row: tuple[Any, ...], txn=None) -> None:
         if self.rowstore is not None:
-            rid = self.rowstore.insert(row)
+            rid = self.rowstore.insert(row, txn)
             for index in self.indexes.values():
                 index.insert(row, rid)
+                if txn is not None:
+                    txn.record(
+                        f"un-index inserted row {rid}",
+                        lambda index=index: index.delete(row, rid),
+                    )
         if self.columnstore is not None:
-            self.columnstore.insert(row)
+            self.columnstore.insert(row, txn)
 
     def bulk_load(self, rows: Sequence[Sequence[Any]]) -> int:
         """Validate and load rows through the bulk path; returns count."""
@@ -90,48 +96,97 @@ class Table:
             [self.schema.coerce_row(row) for row in rows]
         )
 
-    def bulk_load_physical(self, physical: Sequence[tuple[Any, ...]]) -> int:
+    def bulk_load_physical(self, physical: Sequence[tuple[Any, ...]], txn=None) -> int:
         """Bulk-load already-coerced rows (the WAL replay path)."""
         if self.storage_kind is StorageKind.COLUMNSTORE:
             assert self.columnstore is not None
-            self.columnstore.bulk_load(physical)
+            self.columnstore.bulk_load(physical, txn)
         else:
             # Row-store (and BOTH) inserts keep rid bookkeeping per row.
             for row in physical:
-                self._insert_physical(row)
-        self._data_version += 1
+                self._insert_physical(row, txn)
+        self._bump_data_version(txn)
         return len(physical)
 
-    def delete_by_locators(self, locators: Iterable[Any]) -> int:
+    def delete_by_locators(self, locators: Iterable[Any], txn=None) -> int:
         """Delete rows addressed by scan-produced locators/rids.
 
         Each locator targets one storage; BOTH-storage tables are kept
         consistent by the facade running the same predicate against each
-        storage (see :meth:`Database.delete_where`).
+        storage (see :meth:`Table.delete_rows`).
         """
         deleted = 0
         for locator in locators:
             if isinstance(locator, RowId):
-                deleted += self._delete_rowstore_rid(locator)
+                deleted += self._delete_rowstore_rid(locator, txn)
             elif isinstance(locator, RowLocator):
                 assert self.columnstore is not None
-                if self.columnstore.delete(locator):
+                if self.columnstore.delete(locator, txn):
                     deleted += 1
             else:
                 raise StorageError(f"unknown locator {locator!r}")
         if deleted:
-            self._data_version += 1
+            self._bump_data_version(txn)
         return deleted
 
-    def _delete_rowstore_rid(self, rid: RowId) -> int:
+    def delete_rows(self, rids: list, locators: list, txn=None) -> int:
+        """Delete the same logical rows from every storage; returns the
+        *authoritative* logical row count.
+
+        A BOTH-storage table holds each logical row twice (heap + index);
+        the facade resolves the predicate against each storage and both
+        physical deletes run here, but the count reported to the user is
+        the number of distinct logical rows removed — never the
+        per-storage sum, and never just one storage's count while the
+        other silently diverges.
+        """
+        rowstore_deleted = self.delete_by_locators(rids, txn)
+        columnstore_deleted = self.delete_by_locators(locators, txn)
+        if self.rowstore is None:
+            return columnstore_deleted
+        if self.columnstore is None:
+            return rowstore_deleted
+        # Each logical row contributes at most one rid and one locator,
+        # so the larger count is the number of logical rows any storage
+        # still held (the smaller storage had already lost some).
+        return max(rowstore_deleted, columnstore_deleted)
+
+    def _delete_rowstore_rid(self, rid: RowId, txn=None) -> int:
         assert self.rowstore is not None
         row = self.rowstore.get(rid)
         if row is None:
             return 0
+        # One undo entry per mutation, recorded immediately after each
+        # succeeds: a fault anywhere in this sequence (even between two
+        # index deletes) rolls back exactly the mutations that happened.
         self.rowstore.delete(rid)
+        if txn is not None:
+            txn.record(
+                f"un-delete rowstore row {rid}",
+                lambda: self._undo_undelete(rid),
+            )
         for index in self.indexes.values():
             index.delete(row, rid)
+            if txn is not None:
+                txn.record(
+                    f"re-index deleted row {rid}",
+                    lambda index=index: index.insert(row, rid),
+                )
         return 1
+
+    def _undo_undelete(self, rid: RowId) -> None:
+        assert self.rowstore is not None
+        if not self.rowstore.undelete(rid):
+            raise StorageError(f"delete undo: row {rid} is not tombstoned")
+
+    def _bump_data_version(self, txn=None) -> None:
+        if txn is not None:
+            previous = self._data_version
+            txn.record(
+                f"restore {self.name} data version to {previous}",
+                lambda: setattr(self, "_data_version", previous),
+            )
+        self._data_version += 1
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -302,6 +357,13 @@ class Catalog:
         if name.lower() not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[name.lower()]
+
+    def restore_table(self, table: Table) -> None:
+        """Re-register a dropped table object (DROP TABLE undo)."""
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
 
     def table(self, name: str) -> Table:
         try:

@@ -14,19 +14,22 @@ operations the paper describes (tuple mover, REBUILD, archival toggles).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
-from ..errors import CatalogError, PlanningError, StorageError
+from ..errors import CatalogError, PlanningError, StorageError, TxnError
 from ..exec.expressions import Column, Expr
 from ..exec.operators.scan import ColumnStoreScan
 from ..exec.row_engine import RID_COLUMN, RowTableScan
 from ..observability import ExecutionStats
+from ..observability import registry as metrics
 from ..planner.logical import LogicalNode, LogicalScan
 from ..planner.optimizer import Optimizer, PhysicalPlan
 from ..planner.schema_infer import infer_output_dtypes
 from ..schema import TableSchema
 from ..storage.config import StoreConfig
+from ..txn import AUTO_COMMIT_TXN, TxnContext
 from ..types import DataType
 from ..wal.record import WalRecordType
 from .catalog import Catalog, StorageKind, Table
@@ -86,6 +89,11 @@ class Database:
         # save() skips rewriting an unchanged snapshot.
         self._save_fingerprint: tuple | None = None
         self._catalog_epoch = 0
+        # Open explicit transaction (None outside BEGIN..COMMIT). The id
+        # allocator only serves WAL-less databases; with a WAL the txn id
+        # is the LSN of its TXN_BEGIN marker.
+        self._txn: TxnContext | None = None
+        self._next_txn_id = 1
 
     # ------------------------------------------------------------------ #
     # Write-ahead logging plumbing
@@ -113,9 +121,176 @@ class Database:
         self._wal.set_durability(mode)
 
     def close(self) -> None:
-        """Flush any pending group-commit window. Safe to call twice."""
+        """Flush any pending group-commit window. Safe to call twice.
+
+        An open transaction is rolled back first — close() without
+        COMMIT means the work was never promised.
+        """
+        if self._txn is not None:
+            self.rollback()
         if self._wal is not None:
             self._wal.close()
+
+    # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+    # Two guarantees, layered (see DESIGN.md "Transactions"):
+    #
+    # * **Statement atomicity** — every DML statement runs against a
+    #   TxnContext that accumulates physical undo actions at each
+    #   mutation point; an exception mid-statement rolls the in-memory
+    #   state back to exactly the pre-statement state, and apply-then-log
+    #   ordering means a failed statement is never in the log at all.
+    # * **Multi-statement transactions** — BEGIN defers durability:
+    #   statements append WAL records stamped with the txn id but do not
+    #   fsync; COMMIT appends a TXN_COMMIT marker and makes the batch
+    #   durable in one commit; ROLLBACK undoes the accumulated in-memory
+    #   effects and logs a TXN_ABORT. Replay applies only records whose
+    #   transaction committed, so a crash mid-transaction recovers to the
+    #   last commit point.
+    @property
+    def in_transaction(self) -> bool:
+        """Is an explicit BEGIN..COMMIT/ROLLBACK transaction open?"""
+        return self._txn is not None
+
+    def begin(self) -> None:
+        """Open an explicit transaction (SQL ``BEGIN``).
+
+        Nested transactions are not supported: BEGIN inside an open
+        transaction is an error rather than a silent commit-and-restart.
+        """
+        if self._txn is not None:
+            raise TxnError(
+                "a transaction is already open (COMMIT or ROLLBACK it first; "
+                "nested transactions are not supported)"
+            )
+        if self._wal is not None:
+            # The begin marker's own LSN doubles as the transaction id,
+            # which makes ids unique, ordered, and free.
+            txn_id = self._wal.last_lsn + 1
+            self._wal.append(WalRecordType.TXN_BEGIN, "", b"", txn_id)
+        else:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+        self._txn = TxnContext(txn_id)
+        metrics.increment("txn.begins")
+
+    def commit(self) -> None:
+        """Make the open transaction's work permanent (SQL ``COMMIT``)."""
+        txn = self._require_txn("COMMIT")
+        if self._wal is not None:
+            # The commit marker is what promotes the transaction's
+            # records from "present in the log" to "applied by replay";
+            # wal.commit() then makes the whole batch durable per the
+            # configured durability mode — one fsync for N statements.
+            self._wal.append(WalRecordType.TXN_COMMIT, "", b"", txn.txn_id)
+            self._wal.commit()
+        txn.discard()
+        self._txn = None
+        metrics.increment("txn.commits")
+
+    def rollback(self) -> None:
+        """Undo the open transaction's work (SQL ``ROLLBACK``)."""
+        txn = self._require_txn("ROLLBACK")
+        # Undo in-memory effects first: if an undo action itself fails,
+        # the abort marker must not already claim the rollback happened.
+        txn.rollback()
+        self._txn = None
+        if self._wal is not None:
+            self._wal.append(WalRecordType.TXN_ABORT, "", b"", txn.txn_id)
+            self._wal.commit()
+        metrics.increment("txn.rollbacks")
+
+    @contextmanager
+    def transaction(self):
+        """``with db.transaction():`` — commit on success, rollback on error."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            if self._txn is not None:
+                self.rollback()
+            raise
+        else:
+            if self._txn is not None:
+                self.commit()
+
+    def _require_txn(self, verb: str) -> TxnContext:
+        if self._txn is None:
+            raise TxnError(f"{verb} outside a transaction (no BEGIN is open)")
+        return self._txn
+
+    def _require_no_txn(self, operation: str) -> None:
+        """Refuse operations that cannot serialize against an open txn.
+
+        Checkpoints (save) and maintenance reorganizations (tuple mover,
+        REBUILD, archival) are logged, non-undoable operations; running
+        one mid-transaction would either bake uncommitted state into a
+        snapshot or create log records that replay cannot order against
+        the transaction's outcome.
+        """
+        if self._txn is not None:
+            raise TxnError(
+                f"{operation} is not allowed inside an open transaction — "
+                "COMMIT or ROLLBACK first"
+            )
+
+    @contextmanager
+    def _atomic_statement(self):
+        """Statement-level atomicity scope for one DML/DDL statement.
+
+        Yields the transaction context mutators record undo into. Inside
+        an explicit transaction this is a savepoint: a failure rolls back
+        to the statement start but the transaction stays open (and
+        usable), matching SQL statement semantics. In auto-commit mode a
+        throwaway context serves the same purpose and its undo log is
+        discarded on success.
+        """
+        if self._txn is not None:
+            txn = self._txn
+            mark = txn.savepoint()
+            try:
+                yield txn
+            except BaseException:
+                txn.rollback_to(mark)
+                metrics.increment("txn.statement_rollbacks")
+                raise
+            else:
+                txn.statements += 1
+        else:
+            txn = TxnContext(AUTO_COMMIT_TXN)
+            try:
+                yield txn
+            except BaseException:
+                txn.rollback()
+                metrics.increment("txn.statement_rollbacks")
+                raise
+            else:
+                txn.discard()
+
+    def _log_dml(self, rtype: WalRecordType, table: str, payload: bytes) -> None:
+        """Log one applied statement (append-only inside a transaction).
+
+        Auto-commit statements append **and** commit (their frame is the
+        commit unit, as before). Inside an explicit transaction the
+        record is stamped with the txn id and merely appended — it only
+        becomes meaningful to replay if the TXN_COMMIT marker lands, and
+        durability waits for :meth:`commit`.
+        """
+        if self._wal is None:
+            return
+        if self._txn is not None:
+            self._wal.append(rtype, table, payload, self._txn.txn_id)
+        else:
+            self._wal.log_statement(rtype, table, payload)
+
+    def _bump_epoch(self, txn: TxnContext) -> None:
+        previous = self._catalog_epoch
+        txn.record(
+            f"restore catalog epoch to {previous}",
+            lambda: setattr(self, "_catalog_epoch", previous),
+        )
+        self._catalog_epoch += 1
 
     # ------------------------------------------------------------------ #
     # DDL
@@ -132,31 +307,42 @@ class Database:
         if self.catalog.has_table(name):
             raise CatalogError(f"table {name!r} already exists")
         config = config or self.default_config
-        if self._wal is not None:
-            from ..storage import persist
-            from ..wal import replay as walreplay
-
-            self._log(
-                WalRecordType.CREATE_TABLE,
-                name,
-                walreplay.encode_json(
-                    {
-                        "schema": persist.schema_to_json(schema),
-                        "storage": storage.value,
-                        "config": persist.config_to_json(config),
-                    }
-                ),
+        with self._atomic_statement() as txn:
+            table = self.catalog.create_table(name, schema, storage, config)
+            txn.record(
+                f"un-create table {name}",
+                lambda: self.catalog.drop_table(name),
             )
-        table = self.catalog.create_table(name, schema, storage, config)
-        self._catalog_epoch += 1
+            self._bump_epoch(txn)
+            if self._wal is not None:
+                from ..storage import persist
+                from ..wal import replay as walreplay
+
+                self._log_dml(
+                    WalRecordType.CREATE_TABLE,
+                    name,
+                    walreplay.encode_json(
+                        {
+                            "schema": persist.schema_to_json(schema),
+                            "storage": storage.value,
+                            "config": persist.config_to_json(config),
+                        }
+                    ),
+                )
         return table
 
     def drop_table(self, name: str) -> None:
         if not self.catalog.has_table(name):
             raise CatalogError(f"unknown table {name!r}")
-        self._log(WalRecordType.DROP_TABLE, name, b"")
-        self.catalog.drop_table(name)
-        self._catalog_epoch += 1
+        with self._atomic_statement() as txn:
+            dropped = self.catalog.table(name)
+            self.catalog.drop_table(name)
+            txn.record(
+                f"restore dropped table {name}",
+                lambda: self.catalog.restore_table(dropped),
+            )
+            self._bump_epoch(txn)
+            self._log_dml(WalRecordType.DROP_TABLE, name, b"")
 
     def create_index(self, table: str, index_name: str, columns: list[str]):
         """Create a secondary row-store index (the logged DDL path)."""
@@ -165,18 +351,23 @@ class Database:
             raise CatalogError(f"table {target.name!r} has no row store to index")
         if index_name in target.indexes:
             raise CatalogError(f"index {index_name!r} already exists")
-        if self._wal is not None:
-            from ..wal import replay as walreplay
-
-            self._log(
-                WalRecordType.CREATE_INDEX,
-                target.name,
-                walreplay.encode_json(
-                    {"name": index_name, "columns": list(columns)}
-                ),
+        with self._atomic_statement() as txn:
+            index = target.create_index(index_name, list(columns))
+            txn.record(
+                f"un-create index {index_name}",
+                lambda: target.indexes.pop(index_name, None),
             )
-        index = target.create_index(index_name, list(columns))
-        self._catalog_epoch += 1
+            self._bump_epoch(txn)
+            if self._wal is not None:
+                from ..wal import replay as walreplay
+
+                self._log_dml(
+                    WalRecordType.CREATE_INDEX,
+                    target.name,
+                    walreplay.encode_json(
+                        {"name": index_name, "columns": list(columns)}
+                    ),
+                )
         return index
 
     def table(self, name: str) -> Table:
@@ -185,40 +376,55 @@ class Database:
     # ------------------------------------------------------------------ #
     # DML
     # ------------------------------------------------------------------ #
+    # DML statements share one shape: validate and coerce *before* the
+    # atomic scope (a failure there touches nothing), then apply with
+    # undo recording, then log. Apply-then-log means a statement that
+    # fails mid-apply is rolled back to the exact pre-statement state
+    # AND never reaches the log — replay cannot diverge from memory.
     def insert(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
         """Trickle-insert rows (columnstores route through delta stores)."""
         target = self.catalog.table(table)
         physical = [target.schema.coerce_row(row) for row in rows]
-        if self._wal is not None:
-            from ..storage import persist
+        with self._atomic_statement() as txn:
+            count = target.insert_physical_rows(physical, txn)
+            if self._wal is not None:
+                from ..storage import persist
 
-            # Log the already-coerced rows: coercion is not idempotent
-            # (DECIMAL coercion scales ints), so replay must not redo it.
-            self._log(
-                WalRecordType.INSERT,
-                target.name,
-                persist.serialize_rows(target.schema, physical),
-            )
-        return target.insert_physical_rows(physical)
+                # Log the already-coerced rows: coercion is not idempotent
+                # (DECIMAL coercion scales ints), so replay must not redo it.
+                self._log_dml(
+                    WalRecordType.INSERT,
+                    target.name,
+                    persist.serialize_rows(target.schema, physical),
+                )
+        return count
 
     def bulk_load(self, table: str, rows: Sequence[Sequence[Any]]) -> int:
         """Bulk-load rows (large loads compress directly into row groups)."""
         target = self.catalog.table(table)
         physical = [target.schema.coerce_row(row) for row in rows]
-        if self._wal is not None:
-            from ..storage import persist
+        with self._atomic_statement() as txn:
+            count = target.bulk_load_physical(physical, txn)
+            if self._wal is not None:
+                from ..storage import persist
 
-            self._log(
-                WalRecordType.BULK_LOAD,
-                target.name,
-                persist.serialize_rows(target.schema, physical),
-            )
-        return target.bulk_load_physical(physical)
+                self._log_dml(
+                    WalRecordType.BULK_LOAD,
+                    target.name,
+                    persist.serialize_rows(target.schema, physical),
+                )
+        return count
 
     def delete_where(self, table: str, predicate: Expr | None) -> int:
-        """DELETE ... WHERE: runs the predicate against every storage."""
+        """DELETE ... WHERE: runs the predicate against every storage.
+
+        Returns the number of *logical* rows deleted — on BOTH-storage
+        tables each logical row lives in two storages, and the count is
+        authoritative regardless of which storages held it
+        (:meth:`Table.delete_rows`).
+        """
         target = self.catalog.table(table)
-        # Resolve the predicate to locators *before* logging: the redo
+        # Resolve the predicate to locators *before* mutating: the redo
         # record carries locators, not the predicate, so replay is
         # independent of scan order (and predicates need no serializer).
         rids = (
@@ -231,17 +437,17 @@ class Database:
             if target.columnstore is not None
             else []
         )
-        if self._wal is not None and (rids or locators):
-            from ..wal import replay as walreplay
+        with self._atomic_statement() as txn:
+            deleted = target.delete_rows(rids, locators, txn)
+            if self._wal is not None and (rids or locators):
+                from ..wal import replay as walreplay
 
-            self._log(
-                WalRecordType.DELETE,
-                target.name,
-                walreplay.encode_json(walreplay.encode_locators(rids, locators)),
-            )
-        deleted = target.delete_by_locators(rids)
-        cs_deleted = target.delete_by_locators(locators)
-        return cs_deleted if target.rowstore is None else deleted
+                self._log_dml(
+                    WalRecordType.DELETE,
+                    target.name,
+                    walreplay.encode_json(walreplay.encode_locators(rids, locators)),
+                )
+        return deleted
 
     def update_where(
         self,
@@ -293,22 +499,23 @@ class Database:
             if target.columnstore is not None
             else []
         )
-        if self._wal is not None:
-            from ..wal import replay as walreplay
+        with self._atomic_statement() as txn:
+            target.delete_by_locators(rids, txn)
+            target.delete_by_locators(locators, txn)
+            target.insert_physical_rows(physical_rows, txn)
+            if self._wal is not None:
+                from ..wal import replay as walreplay
 
-            # One compound record: UPDATE is delete + insert, and losing
-            # one half of that to a crash would corrupt, so both travel
-            # in a single frame (the unit of atomicity).
-            self._log(
-                WalRecordType.UPDATE,
-                target.name,
-                walreplay.encode_update(
-                    target.schema, rids, locators, physical_rows
-                ),
-            )
-        target.delete_by_locators(rids)
-        target.delete_by_locators(locators)
-        target.insert_physical_rows(physical_rows)
+                # One compound record: UPDATE is delete + insert, and losing
+                # one half of that to a crash would corrupt, so both travel
+                # in a single frame (the unit of atomicity).
+                self._log_dml(
+                    WalRecordType.UPDATE,
+                    target.name,
+                    walreplay.encode_update(
+                        target.schema, rids, locators, physical_rows
+                    ),
+                )
         return len(new_rows)
 
     def _matching_rids(self, target: Table, predicate: Expr | None) -> list[Any]:
@@ -462,6 +669,11 @@ class Database:
         from ..storage.diskio import DiskIO
         from ..storage.snapshot import MANIFEST_NAME, SnapshotWriter
 
+        # A snapshot taken mid-transaction would bake uncommitted state
+        # into the base image (and truncate the log segments replay
+        # would need to undo-by-omission). Refuse; the checkpoint runs
+        # after COMMIT/ROLLBACK.
+        self._require_no_txn("save (checkpoint)")
         disk = disk or DiskIO()
         root = Path(path)
         resolved = str(root.resolve())
@@ -543,7 +755,7 @@ class Database:
         from ..errors import RecoveryError
         from ..storage import persist
         from ..storage.diskio import DiskIO
-        from ..storage.snapshot import open_database_reader
+        from ..storage.snapshot import MANIFEST_NAME, open_database_reader
         from ..wal.log import WAL_DIR_NAME, WriteAheadLog
 
         disk = disk or DiskIO()
@@ -553,7 +765,12 @@ class Database:
         try:
             reader = open_database_reader(disk, root)
         except RecoveryError:
-            if not has_wal:
+            if not has_wal or disk.exists(root / MANIFEST_NAME):
+                # Either there is no log to recover from, or a manifest
+                # *exists* but could not be used — that is corruption,
+                # not a pre-first-checkpoint directory, and the log was
+                # truncated at the snapshot's checkpoint: opening WAL-only
+                # would silently present an empty database.
                 raise
             # No snapshot yet but a log exists: the database crashed
             # before its first checkpoint — the log holds all state.
@@ -689,6 +906,7 @@ class Database:
         return target
 
     def run_tuple_mover(self, table: str, include_open: bool = False):
+        self._require_no_txn("the tuple mover")
         target = self._columnstore_table(table)
         if self._wal is not None:
             from ..wal import replay as walreplay
@@ -701,6 +919,7 @@ class Database:
         return target.run_tuple_mover(include_open)
 
     def rebuild(self, table: str) -> None:
+        self._require_no_txn("REBUILD")
         target = self._columnstore_table(table)
         if target.storage_kind is StorageKind.BOTH:
             raise CatalogError("REBUILD on BOTH-storage tables is not supported")
@@ -708,6 +927,7 @@ class Database:
         target.rebuild_columnstore()
 
     def set_archival(self, table: str, enabled: bool) -> None:
+        self._require_no_txn("archival compression changes")
         target = self._columnstore_table(table)
         if self._wal is not None:
             from ..wal import replay as walreplay

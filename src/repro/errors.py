@@ -85,6 +85,18 @@ class ReplayError(StorageError):
     """
 
 
+class TxnError(ReproError):
+    """Misuse of the transaction API.
+
+    Raised for BEGIN inside an open transaction, COMMIT/ROLLBACK with no
+    transaction open, and for operations that refuse to run while a
+    transaction is open (checkpointing ``save``, the tuple mover and
+    other maintenance — they would persist or reorganize uncommitted
+    rows). Statement *failures* inside a transaction are not TxnErrors:
+    the statement's own error propagates after its effects are undone.
+    """
+
+
 class CatalogError(ReproError):
     """Unknown or duplicate table / column / index name."""
 

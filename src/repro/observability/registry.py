@@ -58,6 +58,11 @@ STABLE_COUNTERS = (
     "storage.wal.checkpoints",
     "storage.wal.replay.records",
     "storage.wal.replay.torn_tails_truncated",
+    "storage.wal.replay.uncommitted_skipped",
+    "txn.begins",
+    "txn.commits",
+    "txn.rollbacks",
+    "txn.statement_rollbacks",
     "exec.spill.files",
     "exec.spill.batches",
     "exec.spill.rows",

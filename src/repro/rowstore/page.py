@@ -70,6 +70,31 @@ class Page:
         self.deleted.add(slot)
         return True
 
+    def pop_last(self, n_bytes: int) -> tuple[Any, ...]:
+        """Remove the most recently appended slot (insert undo).
+
+        Only the tail slot may be removed — interior slots must stay
+        stable (row ids held elsewhere address them) — so undo runs in
+        strict reverse insertion order.
+        """
+        if not self.rows:
+            raise StorageError(f"page {self.page_id} has no slots to pop")
+        tail = len(self.rows) - 1
+        if tail in self.deleted:
+            raise StorageError(
+                f"page {self.page_id} slot {tail} is deleted, not a fresh insert"
+            )
+        row = self.rows.pop()
+        self.used_bytes -= n_bytes
+        return row
+
+    def undelete(self, slot: int) -> bool:
+        """Clear a tombstone, making the slot's row live again."""
+        if slot not in self.deleted:
+            return False
+        self.deleted.discard(slot)
+        return True
+
     def update(self, slot: int, row: tuple[Any, ...]) -> bool:
         if not 0 <= slot < len(self.rows) or slot in self.deleted:
             return False

@@ -29,17 +29,45 @@ class RowStoreTable:
     # ------------------------------------------------------------------ #
     # DML
     # ------------------------------------------------------------------ #
-    def insert(self, row: tuple[Any, ...]) -> RowId:
-        """Insert a physical row; returns its row id."""
+    def insert(self, row: tuple[Any, ...], txn=None) -> RowId:
+        """Insert a physical row; returns its row id.
+
+        With a transaction context, records an undo action that removes
+        the slot again (and the page, if this insert allocated it), so a
+        rolled-back insert leaves the heap layout — and therefore every
+        future row id — exactly as if it never ran.
+        """
         n_bytes = row_size_bytes(self.schema, row)
         if n_bytes > PAGE_SIZE_BYTES - 96:
             raise StorageError(f"row of {n_bytes} bytes exceeds the page size")
-        if not self._pages or not self._pages[-1].has_room(n_bytes):
+        created_page = not self._pages or not self._pages[-1].has_room(n_bytes)
+        if created_page:
             self._pages.append(Page(len(self._pages)))
         page = self._pages[-1]
         slot = page.insert(row, n_bytes)
         self._live += 1
-        return RowId(page.page_id, slot)
+        rid = RowId(page.page_id, slot)
+        if txn is not None:
+            txn.record(
+                f"un-insert rowstore row {rid}",
+                lambda: self._undo_insert(rid, n_bytes, created_page),
+            )
+        return rid
+
+    def _undo_insert(self, rid: RowId, n_bytes: int, created_page: bool) -> None:
+        page = self._pages[rid.page]
+        if rid.page != len(self._pages) - 1 or rid.slot != page.slot_count - 1:
+            raise StorageError(
+                f"insert undo of {rid} out of order (not the tail slot)"
+            )
+        page.pop_last(n_bytes)
+        self._live -= 1
+        if created_page:
+            if page.slot_count:
+                raise StorageError(
+                    f"page {page.page_id} was created by this insert but is not empty"
+                )
+            self._pages.pop()
 
     def insert_many(self, rows: list[tuple[Any, ...]]) -> list[RowId]:
         return [self.insert(row) for row in rows]
@@ -54,6 +82,16 @@ class RowStoreTable:
             return False
         if self._pages[rid.page].delete(rid.slot):
             self._live -= 1
+            return True
+        return False
+
+    def undelete(self, rid: RowId) -> bool:
+        """Clear a delete tombstone (delete undo); the row data is still
+        in the slot, so this restores the exact pre-delete state."""
+        if not 0 <= rid.page < len(self._pages):
+            return False
+        if self._pages[rid.page].undelete(rid.slot):
+            self._live += 1
             return True
         return False
 

@@ -168,6 +168,21 @@ class UpdateStatement:
 
 
 @dataclass
+class BeginStatement:
+    """``BEGIN [TRANSACTION | WORK]`` / ``START TRANSACTION``."""
+
+
+@dataclass
+class CommitStatement:
+    """``COMMIT [TRANSACTION | WORK]``."""
+
+
+@dataclass
+class RollbackStatement:
+    """``ROLLBACK [TRANSACTION | WORK]``."""
+
+
+@dataclass
 class ExplainStatement:
     """``EXPLAIN [ANALYZE] SELECT ...`` — plan text, optionally executed
     with runtime stats collection."""

@@ -14,6 +14,7 @@ KEYWORDS = {
     "else", "end", "distinct", "insert", "into", "values", "create",
     "table", "drop", "delete", "update", "set", "using", "asc", "desc",
     "true", "false", "exists", "explain", "analyze",
+    "begin", "commit", "rollback", "start", "transaction", "work",
 }
 
 # Multi-character operators first so they win over single-char prefixes.

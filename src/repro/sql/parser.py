@@ -6,6 +6,8 @@ from typing import Any
 
 from ..errors import SqlSyntaxError
 from .ast import (
+    BeginStatement,
+    CommitStatement,
     CreateTableStatement,
     DeleteStatement,
     DropTableStatement,
@@ -22,6 +24,7 @@ from .ast import (
     ExplainStatement,
     InsertStatement,
     JoinClause,
+    RollbackStatement,
     SelectItem,
     SelectStatement,
     SqlExpr,
@@ -101,6 +104,12 @@ class Parser:
             statement = self.parse_delete()
         elif token.is_keyword("update"):
             statement = self.parse_update()
+        elif token.is_keyword("begin") or token.is_keyword("start"):
+            statement = self.parse_begin()
+        elif token.is_keyword("commit"):
+            statement = self.parse_txn_end("commit", CommitStatement)
+        elif token.is_keyword("rollback"):
+            statement = self.parse_txn_end("rollback", RollbackStatement)
         else:
             raise SqlSyntaxError(f"unexpected token {token.text!r}", token.position)
         self.accept_op(";")
@@ -108,6 +117,23 @@ class Parser:
         if tail.kind != "eof":
             raise SqlSyntaxError(f"trailing input {tail.text!r}", tail.position)
         return statement
+
+    def parse_begin(self) -> BeginStatement:
+        """``BEGIN [TRANSACTION | WORK]`` or ``START TRANSACTION``."""
+        if self.accept_keyword("start"):
+            self.expect_keyword("transaction")
+        else:
+            self.expect_keyword("begin")
+            if not self.accept_keyword("transaction"):
+                self.accept_keyword("work")
+        return BeginStatement()
+
+    def parse_txn_end(self, word: str, node_cls):
+        """``COMMIT`` / ``ROLLBACK``, optionally ``TRANSACTION | WORK``."""
+        self.expect_keyword(word)
+        if not self.accept_keyword("transaction"):
+            self.accept_keyword("work")
+        return node_cls()
 
     def parse_explain(self) -> ExplainStatement:
         """``EXPLAIN [ANALYZE] <select>``."""

@@ -56,6 +56,15 @@ def run_statement(db, sql: str, **options: Any):
         return _affected(db, db.delete_where(statement.table, predicate))
     if isinstance(statement, A.UpdateStatement):
         return _run_update(db, statement)
+    if isinstance(statement, A.BeginStatement):
+        db.begin()
+        return None
+    if isinstance(statement, A.CommitStatement):
+        db.commit()
+        return None
+    if isinstance(statement, A.RollbackStatement):
+        db.rollback()
+        return None
     raise SqlSyntaxError(f"unsupported statement {type(statement).__name__}")
 
 

@@ -95,21 +95,49 @@ class ColumnStoreIndex:
         self._next_delta_id += 1
         return delta
 
-    def insert(self, row: tuple[Any, ...]) -> RowLocator:
-        """Trickle-insert one physical row into the open delta store."""
+    def insert(self, row: tuple[Any, ...], txn=None) -> RowLocator:
+        """Trickle-insert one physical row into the open delta store.
+
+        With a transaction context, records an undo that removes the row
+        and restores the allocator counters and delta open/close/creation
+        transitions — rollback leaves the index structurally identical to
+        its pre-insert state, so replayed locators stay valid.
+        """
+        created = self._open_delta_id is None
         delta = self._open_delta()
         row_id = self._next_row_id
         self._next_row_id += 1
+        if txn is not None:
+            txn.record(
+                f"un-insert delta row {row_id} (delta {delta.delta_id})",
+                lambda: self._undo_insert(delta.delta_id, row_id, created),
+            )
         delta.insert(row_id, tuple(row))
         if delta.row_count >= self.config.effective_delta_close_rows:
             delta.close()
             self._open_delta_id = None
         return RowLocator(DELTA, delta.delta_id, row_id)
 
-    def insert_many(self, rows: Iterable[tuple[Any, ...]]) -> list[RowLocator]:
-        return [self.insert(row) for row in rows]
+    def _undo_insert(self, delta_id: int, row_id: int, created: bool) -> None:
+        delta = self._delta_stores.get(delta_id)
+        if delta is None:
+            raise StorageError(f"insert undo: delta store {delta_id} vanished")
+        delta.delete(row_id)
+        self._next_row_id = row_id
+        if not delta.is_open:
+            # This insert tripped the close threshold (later inserts of
+            # the statement are already undone — they went elsewhere).
+            delta.reopen()
+            self._open_delta_id = delta_id
+        if created:
+            del self._delta_stores[delta_id]
+            self._next_delta_id = delta_id
+            self._open_delta_id = None
 
-    def bulk_load(self, rows: Sequence[tuple[Any, ...]]) -> None:
+    def insert_many(self, rows: Iterable[tuple[Any, ...]], txn=None) -> list[RowLocator]:
+        return [self.insert(row, txn) for row in rows]
+
+    def bulk_load(self, rows: Sequence[tuple[Any, ...]], txn=None) -> None:
         """Insert many rows at once.
 
         At or above the bulk-load threshold the rows are compressed directly
@@ -117,9 +145,31 @@ class ColumnStoreIndex:
         back to trickle inserts into the delta store.
         """
         if len(rows) >= self.config.bulk_load_threshold:
+            if txn is not None:
+                # Record before loading: a failure mid-load must also
+                # withdraw any row groups the loader already registered.
+                mark = (
+                    self.directory.next_group_id,
+                    {col.name: len(self.directory.global_dictionary(col.name))
+                     for col in self.schema},
+                )
+                txn.record(
+                    f"withdraw bulk-loaded row groups (ids >= {mark[0]})",
+                    lambda: self._undo_bulk_load(mark),
+                )
             self.loader.load_rows(rows)
         else:
-            self.insert_many(rows)
+            self.insert_many(rows, txn)
+
+    def _undo_bulk_load(self, mark: tuple[int, dict[str, int]]) -> None:
+        next_group_id, dict_lengths = mark
+        for group in list(self.directory.row_groups()):
+            if group.group_id >= next_group_id:
+                self.directory.remove_row_group(group.group_id)
+                self.delete_bitmap.forget_group(group.group_id)
+        self.directory.rewind_group_ids(next_group_id)
+        for column, length in dict_lengths.items():
+            self.directory.global_dictionary(column).truncate(length)
 
     def bulk_load_columns(
         self,
@@ -132,7 +182,7 @@ class ColumnStoreIndex:
     # ------------------------------------------------------------------ #
     # Deletes and updates
     # ------------------------------------------------------------------ #
-    def delete(self, locator: RowLocator) -> bool:
+    def delete(self, locator: RowLocator, txn=None) -> bool:
         """Delete one row; returns ``False`` if it was already gone."""
         if locator.kind == GROUP:
             group = self.directory.row_group(locator.container_id)
@@ -141,14 +191,33 @@ class ColumnStoreIndex:
                     f"position {locator.position} out of range for row group "
                     f"{locator.container_id}"
                 )
-            return self.delete_bitmap.mark(locator.container_id, locator.position)
+            marked = self.delete_bitmap.mark(locator.container_id, locator.position)
+            if marked and txn is not None:
+                txn.record(
+                    f"unmark deleted row {locator}",
+                    lambda: self.delete_bitmap.unmark(
+                        locator.container_id, locator.position
+                    ),
+                )
+            return marked
         delta = self._delta_stores.get(locator.container_id)
         if delta is None:
             raise StorageError(f"unknown delta store {locator.container_id}")
+        if txn is not None:
+            values = delta.get(locator.position)
+            if values is None:
+                return False
+            if not delta.delete(locator.position):  # pragma: no cover
+                return False
+            txn.record(
+                f"restore delta row {locator}",
+                lambda: delta.restore(locator.position, values),
+            )
+            return True
         return delta.delete(locator.position)
 
-    def delete_many(self, locators: Iterable[RowLocator]) -> int:
-        return sum(1 for locator in locators if self.delete(locator))
+    def delete_many(self, locators: Iterable[RowLocator], txn=None) -> int:
+        return sum(1 for locator in locators if self.delete(locator, txn))
 
     def update(self, locator: RowLocator, new_row: tuple[Any, ...]) -> RowLocator:
         """UPDATE = DELETE + INSERT, as in the paper."""

@@ -37,6 +37,20 @@ class DeleteBitmap:
         positions.add(position)
         return True
 
+    def unmark(self, group_id: int, position: int) -> bool:
+        """Clear one mark (delete undo); returns ``False`` if not marked.
+
+        An entry left empty is removed entirely so the bitmap's group
+        set (and accounting size) returns to its exact pre-mark state.
+        """
+        positions = self._deleted.get(group_id)
+        if positions is None or position not in positions:
+            return False
+        positions.discard(position)
+        if not positions:
+            del self._deleted[group_id]
+        return True
+
     def mark_many(self, group_id: int, positions: Iterator[int] | list[int]) -> int:
         """Mark many rows of one row group; returns newly marked count."""
         existing = self._deleted.setdefault(group_id, set())

@@ -58,6 +58,11 @@ class DeltaStore:
             metrics.increment("storage.delta.stores_closed")
         self.state = DeltaState.CLOSED
 
+    def reopen(self) -> None:
+        """Undo a close transition (rollback of the insert that tripped
+        the close threshold). Only the transaction layer calls this."""
+        self.state = DeltaState.OPEN
+
     # ------------------------------------------------------------------ #
     # DML
     # ------------------------------------------------------------------ #
@@ -72,6 +77,19 @@ class DeltaStore:
     def delete(self, row_id: int) -> bool:
         """Delete a row in place; returns ``False`` if absent."""
         return self._rows.delete(row_id)
+
+    def restore(self, row_id: int, values: tuple[Any, ...]) -> None:
+        """Re-insert a deleted row (delete undo), even when closed.
+
+        Bypasses the OPEN check and the insert metrics: the row is not
+        new, it is the original row coming back under its original id.
+        """
+        if row_id in self._rows:
+            raise StorageError(
+                f"cannot restore row {row_id}: it is still present in "
+                f"delta store {self.delta_id}"
+            )
+        self._rows.insert(row_id, values)
 
     def get(self, row_id: int) -> tuple[Any, ...] | None:
         return self._rows.get(row_id)

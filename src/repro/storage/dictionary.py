@@ -156,6 +156,19 @@ class GlobalDictionary:
         for value in values:
             self.intern(value)
 
+    def truncate(self, length: int) -> None:
+        """Forget every id >= ``length`` (bulk-load undo).
+
+        Ids are assigned densely in first-seen order, so dropping the
+        tail restores the exact pre-load map — a later load re-interning
+        the same values reassigns the same ids.
+        """
+        if length >= len(self._values):
+            return
+        for value in self._values[length:]:
+            del self._ids[value]
+        del self._values[length:]
+
     @property
     def size_bytes(self) -> int:
         total = 0

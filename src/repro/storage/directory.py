@@ -52,6 +52,25 @@ class SegmentDirectory:
         self._next_group_id += 1
         return group_id
 
+    @property
+    def next_group_id(self) -> int:
+        return self._next_group_id
+
+    def rewind_group_ids(self, next_group_id: int) -> None:
+        """Roll the id allocator back (bulk-load undo).
+
+        Only valid once every group with id >= ``next_group_id`` has been
+        removed; ids stay deterministic across rollback + retry, which
+        WAL replay's locator addressing depends on.
+        """
+        for group_id in self._row_groups:
+            if group_id >= next_group_id:
+                raise StorageError(
+                    f"cannot rewind group ids to {next_group_id}: row group "
+                    f"{group_id} still exists"
+                )
+        self._next_group_id = next_group_id
+
     def add_row_group(self, group: RowGroup) -> None:
         if group.group_id in self._row_groups:
             raise StorageError(f"duplicate row group id {group.group_id}")

@@ -1,0 +1,97 @@
+"""The transaction context: an undo log of physical compensation actions.
+
+A :class:`TxnContext` is a stack of undo closures. Storage mutators
+record one entry per mutation point (a delta-store insert, a delete-
+bitmap mark, a rowstore tombstone, a catalog registration); rolling back
+runs the entries in reverse, restoring the exact pre-mutation state —
+including allocator counters (next row id, next delta id, next row-group
+id), open/closed delta transitions, and global-dictionary extensions, so
+a rolled-back statement is indistinguishable from one that never ran.
+That exactness is what keeps WAL replay deterministic: locators logged
+by later statements address the same physical positions whether or not
+an earlier statement was rolled back.
+
+Savepoints are just stack depths: a statement records the depth on
+entry and rolls back to it on failure, which gives statement-level
+atomicity *inside* a multi-statement transaction without a separate
+nested-transaction mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import TxnError
+
+# Txn id 0 marks auto-commit statements: their WAL records need no
+# commit marker (the record's presence is the commit, as before PR 4).
+AUTO_COMMIT_TXN = 0
+
+
+class TxnContext:
+    """One transaction's undo log (also used per-statement in auto-commit).
+
+    ``txn_id`` is 0 for the ephemeral per-statement context of an
+    auto-commit statement and a positive id (the LSN of the TXN_BEGIN
+    record when a WAL is attached) for explicit transactions.
+    """
+
+    __slots__ = ("txn_id", "_undo", "statements", "rolled_back")
+
+    def __init__(self, txn_id: int = AUTO_COMMIT_TXN) -> None:
+        self.txn_id = txn_id
+        self._undo: list[tuple[str, Callable[[], None]]] = []
+        self.statements = 0  # completed statements (for status/tests)
+        self.rolled_back = False
+
+    @property
+    def explicit(self) -> bool:
+        return self.txn_id != AUTO_COMMIT_TXN
+
+    def __len__(self) -> int:
+        return len(self._undo)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record(self, description: str, action: Callable[[], None]) -> None:
+        """Push one undo action (run if the statement/txn rolls back)."""
+        self._undo.append((description, action))
+
+    # ------------------------------------------------------------------ #
+    # Savepoints / rollback
+    # ------------------------------------------------------------------ #
+    def savepoint(self) -> int:
+        """Current undo depth; pass to :meth:`rollback_to` later."""
+        return len(self._undo)
+
+    def rollback_to(self, mark: int) -> int:
+        """Undo every action recorded after ``mark``, newest first.
+
+        Undo actions are pure in-memory compensations and must not fail;
+        if one does, the database is in an undefined state, so the error
+        is wrapped in :class:`TxnError` naming the failed action rather
+        than silently continuing.
+        """
+        undone = 0
+        while len(self._undo) > mark:
+            description, action = self._undo.pop()
+            try:
+                action()
+            except Exception as exc:
+                raise TxnError(
+                    f"undo action failed ({description}): {exc} — "
+                    "in-memory state may be inconsistent"
+                ) from exc
+            undone += 1
+        return undone
+
+    def rollback(self) -> int:
+        """Undo everything this transaction did."""
+        undone = self.rollback_to(0)
+        self.rolled_back = True
+        return undone
+
+    def discard(self) -> None:
+        """Forget recorded undo actions (the changes are being kept)."""
+        self._undo.clear()

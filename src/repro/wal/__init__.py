@@ -23,9 +23,18 @@ from .log import (
     check_wal,
     normalize_durability,
 )
-from .record import WalRecord, WalRecordType, encode_record, scan_segment
+from .record import (
+    AUTO_COMMIT_TXN,
+    TXN_MARKER_TYPES,
+    WalRecord,
+    WalRecordType,
+    encode_record,
+    scan_segment,
+)
 
 __all__ = [
+    "AUTO_COMMIT_TXN",
+    "TXN_MARKER_TYPES",
     "DEFAULT_GROUP_COMMIT_SIZE",
     "DEFAULT_SEGMENT_BYTES",
     "DURABILITY_MODES",

@@ -216,23 +216,29 @@ class WriteAheadLog:
     # ------------------------------------------------------------------ #
     # Appending / committing
     # ------------------------------------------------------------------ #
-    def log_statement(self, rtype: WalRecordType, table: str, payload: bytes) -> int:
+    def log_statement(
+        self, rtype: WalRecordType, table: str, payload: bytes, txn_id: int = 0
+    ) -> int:
         """Append one statement's redo record and commit it.
 
-        This is the facade's single entry point: the append and the
-        commit happen under one lock acquisition, so concurrent writers'
-        statements never interleave inside a commit boundary.
+        This is the facade's single entry point for auto-committed
+        statements: the append and the commit happen under one lock
+        acquisition, so concurrent writers' statements never interleave
+        inside a commit boundary. Records inside an explicit transaction
+        use :meth:`append` alone — durability waits for the TXN_COMMIT.
         """
         with self._lock:
-            lsn = self.append(rtype, table, payload)
+            lsn = self.append(rtype, table, payload, txn_id)
             self.commit()
             return lsn
 
-    def append(self, rtype: WalRecordType, table: str, payload: bytes) -> int:
+    def append(
+        self, rtype: WalRecordType, table: str, payload: bytes, txn_id: int = 0
+    ) -> int:
         """Append one record (no durability yet); returns its LSN."""
         with self._lock:
             lsn = self._last_lsn + 1
-            frame = encode_record(rtype, lsn, table, payload)
+            frame = encode_record(rtype, lsn, table, payload, txn_id)
             segment = self._segment_for_append(lsn, len(frame))
             self.disk.append_file(segment.path, frame)
             segment.size += len(frame)

@@ -6,7 +6,15 @@ atomicity — there is no separate COMMIT marker to lose half of). The
 wire layout, little-endian throughout::
 
     frame  := length:u32 | crc:u32 | body
-    body   := type:u8 | lsn:u64 | table_len:u16 | table:utf8 | payload
+    body   := type:u8 | lsn:u64 | txn_id:u64 | table_len:u16 | table:utf8 | payload
+
+``txn_id`` ties a record to its transaction: 0 is the implicit
+auto-commit transaction (the record commits with its own frame, as
+before), while a nonzero id — the LSN of the transaction's
+``TXN_BEGIN`` marker — marks a record that only takes effect if a
+``TXN_COMMIT`` with the same id appears later in the log. Replay
+collects the committed ids first and skips the rest
+(:mod:`repro.wal.replay`).
 
 ``length`` counts the body bytes and ``crc`` is CRC-32C over the body,
 so a torn append (only a prefix of the frame reached the disk) is
@@ -31,8 +39,12 @@ from ..errors import WalCorruptError
 from ..storage.diskio import crc32c
 
 _FRAME_HEADER = struct.Struct("<II")  # body length, body crc32c
-_BODY_HEADER = struct.Struct("<BQH")  # record type, lsn, table-name length
+_BODY_HEADER = struct.Struct("<BQQH")  # record type, lsn, txn id, table-name length
 MIN_BODY_BYTES = _BODY_HEADER.size
+
+#: Transaction id of auto-committed statements (each record is its own
+#: commit unit, exactly the pre-transaction behaviour).
+AUTO_COMMIT_TXN = 0
 
 
 class WalRecordType(enum.IntEnum):
@@ -48,6 +60,16 @@ class WalRecordType(enum.IntEnum):
     TUPLE_MOVER = 8
     REBUILD = 9
     ARCHIVAL = 10
+    TXN_BEGIN = 11
+    TXN_COMMIT = 12
+    TXN_ABORT = 13
+
+
+#: Marker records delimiting explicit transactions; they carry no table
+#: or payload and replay never applies them to storage.
+TXN_MARKER_TYPES = frozenset(
+    {WalRecordType.TXN_BEGIN, WalRecordType.TXN_COMMIT, WalRecordType.TXN_ABORT}
+)
 
 
 @dataclass(frozen=True)
@@ -58,6 +80,7 @@ class WalRecord:
     rtype: WalRecordType
     table: str
     payload: bytes
+    txn_id: int = AUTO_COMMIT_TXN
 
 
 @dataclass
@@ -78,15 +101,25 @@ class SegmentScan:
     damage: SegmentDamage | None = None
 
 
-def encode_record(rtype: WalRecordType, lsn: int, table: str, payload: bytes) -> bytes:
+def encode_record(
+    rtype: WalRecordType,
+    lsn: int,
+    table: str,
+    payload: bytes,
+    txn_id: int = AUTO_COMMIT_TXN,
+) -> bytes:
     table_bytes = table.encode("utf-8")
-    body = _BODY_HEADER.pack(int(rtype), lsn, len(table_bytes)) + table_bytes + payload
+    body = (
+        _BODY_HEADER.pack(int(rtype), lsn, txn_id, len(table_bytes))
+        + table_bytes
+        + payload
+    )
     return _FRAME_HEADER.pack(len(body), crc32c(body)) + body
 
 
 def _decode_body(body: bytes) -> WalRecord:
     """Decode a CRC-verified body; raises ``ValueError`` on bad structure."""
-    rtype_raw, lsn, table_len = _BODY_HEADER.unpack_from(body, 0)
+    rtype_raw, lsn, txn_id, table_len = _BODY_HEADER.unpack_from(body, 0)
     if MIN_BODY_BYTES + table_len > len(body):
         raise ValueError(f"table name ({table_len} bytes) overruns the body")
     table = body[MIN_BODY_BYTES : MIN_BODY_BYTES + table_len].decode("utf-8")
@@ -95,6 +128,7 @@ def _decode_body(body: bytes) -> WalRecord:
         rtype=WalRecordType(rtype_raw),
         table=table,
         payload=body[MIN_BODY_BYTES + table_len :],
+        txn_id=txn_id,
     )
 
 

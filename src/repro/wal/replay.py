@@ -35,7 +35,7 @@ from ..observability import registry as metrics
 from ..rowstore.table import RowId
 from ..storage import persist
 from ..storage.columnstore import RowLocator
-from .record import WalRecord, WalRecordType
+from .record import AUTO_COMMIT_TXN, TXN_MARKER_TYPES, WalRecord, WalRecordType
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..db.database import Database
@@ -97,13 +97,41 @@ def decode_update(schema, payload: bytes):
 # ---------------------------------------------------------------------- #
 # Replay
 # ---------------------------------------------------------------------- #
+def committed_txn_ids(records: list[WalRecord]) -> set[int]:
+    """Transaction ids whose TXN_COMMIT marker reached the log."""
+    return {
+        record.txn_id
+        for record in records
+        if record.rtype is WalRecordType.TXN_COMMIT
+        and record.txn_id != AUTO_COMMIT_TXN
+    }
+
+
 def apply_records(db: "Database", records: list[WalRecord]) -> int:
     """Apply recovered redo records to a freshly loaded database.
 
     The caller attaches the WAL to ``db`` only *after* this returns, so
     nothing applied here is logged again.
+
+    Transactional filtering: a record stamped with a nonzero txn id only
+    takes effect if that transaction's TXN_COMMIT reached the log — a
+    crash (or explicit ROLLBACK) mid-transaction leaves its DML records
+    on disk, and replay must land on the last *committed* state, never a
+    transaction prefix. Commit markers are collected in a first pass;
+    records are still applied strictly in LSN order. This is sound
+    because checkpoints refuse to run inside a transaction, so a
+    snapshot never captures half of one and the skipped records never
+    have effects baked into the base image. Returns the number of
+    records applied to storage.
     """
+    committed = committed_txn_ids(records)
+    applied = 0
     for record in records:
+        if record.rtype in TXN_MARKER_TYPES:
+            continue  # delimiters only — nothing to apply
+        if record.txn_id != AUTO_COMMIT_TXN and record.txn_id not in committed:
+            metrics.increment("storage.wal.replay.uncommitted_skipped")
+            continue
         try:
             _apply(db, record)
         except ReplayError:
@@ -113,8 +141,9 @@ def apply_records(db: "Database", records: list[WalRecord]) -> int:
                 f"replaying LSN {record.lsn} ({record.rtype.name} on "
                 f"{record.table or '<db>'}): {exc}"
             ) from exc
+        applied += 1
         metrics.increment("storage.wal.replay.records")
-    return len(records)
+    return applied
 
 
 def _apply(db: "Database", record: WalRecord) -> None:

@@ -56,6 +56,51 @@ class TestStorageKinds:
             db.create_table("t", sch, storage="hologram")
 
 
+class TestDeleteCount:
+    """DELETE's reported row count is the number of *logical* rows.
+
+    Regression: BOTH-storage tables used to derive the count from the
+    two physical deletes independently, so the same logical row could be
+    double-counted (or, with diverged storages, dropped from the count
+    entirely). :meth:`Table.delete_rows` now reports one authoritative
+    number.
+    """
+
+    def test_both_storage_counts_each_row_once(self, db, sch):
+        db.create_table("t", sch, storage="both")
+        db.insert("t", [(i, f"v{i}") for i in range(10)])
+        deleted = db.delete_where("t", Comparison("<", col("id"), lit(4)))
+        assert deleted == 4  # not 8: heap + index hold the same 4 rows
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 6
+
+    def test_sql_delete_reports_logical_count(self, db, sch):
+        db.create_table("t", sch, storage="both")
+        db.insert("t", [(i, f"v{i}") for i in range(10)])
+        assert db.sql("DELETE FROM t WHERE id >= 7").scalar() == 3
+
+    def test_single_storage_counts_unchanged(self, db, sch):
+        for storage in ("rowstore", "columnstore"):
+            db2 = Database(StoreConfig())
+            db2.create_table("t", sch, storage=storage)
+            db2.insert("t", [(i, "x") for i in range(6)])
+            assert db2.delete_where("t", Comparison("<", col("id"), lit(2))) == 2
+
+    def test_diverged_storages_report_max(self, db, sch):
+        # Force split-brain by inserting into one storage behind the
+        # facade's back: the columnstore holds a row the heap never saw.
+        db.create_table("t", sch, storage="both")
+        db.insert("t", [(1, "a"), (2, "b")])
+        table = db.table("t")
+        table.columnstore.insert(table.schema.coerce_row((3, "ghost")))
+        deleted = db.delete_where("t", Comparison(">=", col("id"), lit(2)))
+        # Row 2 exists in both storages, row 3 only in the columnstore:
+        # two distinct logical rows disappeared. The old per-storage
+        # bookkeeping would have reported 1 (heap's view) or 3 (the sum).
+        assert deleted == 2
+        assert table.rowstore.row_count == 1
+        assert table.columnstore.live_rows == 1
+
+
 class TestMaintenance:
     def test_tuple_mover_via_facade(self, db, sch):
         db.create_table("t", sch)

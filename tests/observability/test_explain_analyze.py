@@ -127,7 +127,9 @@ class TestExplainAnalyzeSql:
 class TestCliStats:
     def test_stats_meta_command_toggles(self, db):
         shell = Shell(db)
-        assert shell.run_meta("\\stats") == ["stats is off"]
+        out = shell.run_meta("\\stats")
+        assert out[0] == "stats is off"
+        assert any("transactions:" in line for line in out)
         assert shell.run_meta("\\stats on") == ["stats on"]
         out = shell.run_sql("SELECT COUNT(*) AS n FROM t WHERE a >= 112;")
         assert any("* actual:" in line for line in out)

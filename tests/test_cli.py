@@ -161,3 +161,77 @@ class TestExplainAnalyze:
         )
         assert "build_rows=5" in text
         assert "probe_rows=100" in text
+
+
+class TestMainExitCodes:
+    """`python -m repro` is scriptable: corruption, failed opens and
+    usage errors must surface as nonzero exit codes, not just printed
+    text with a lying `0`."""
+
+    @staticmethod
+    def _saved_dir(tmp_path):
+        from repro import Database
+
+        target = tmp_path / "db"
+        db = Database.open(str(target), durability="per-commit")
+        db.sql("CREATE TABLE t (id INT NOT NULL)")
+        db.sql("INSERT INTO t VALUES (1), (2)")
+        db.save(str(target))
+        db.close()
+        return target
+
+    @staticmethod
+    def _corrupt_manifest(target):
+        from repro.storage.snapshot import MANIFEST_NAME
+
+        path = target / MANIFEST_NAME
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x10
+        path.write_bytes(bytes(data))
+
+    def test_check_without_directory_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["check"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_check_missing_directory_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["check", str(tmp_path / "nope")]) == 1
+
+    def test_check_clean_directory_passes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = self._saved_dir(tmp_path)
+        assert main(["check", str(target)]) == 0
+
+    def test_check_corruption_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = self._saved_dir(tmp_path)
+        self._corrupt_manifest(target)
+        assert main(["check", str(target)]) == 1
+
+    def test_open_corrupt_directory_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = self._saved_dir(tmp_path)
+        self._corrupt_manifest(target)
+        assert main([str(target)]) == 1
+
+    def test_open_clean_directory_runs_shell(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        target = self._saved_dir(tmp_path)
+
+        def no_stdin(prompt=""):
+            raise EOFError
+
+        monkeypatch.setattr("builtins.input", no_stdin)
+        assert main([str(target)]) == 0
+
+    def test_durability_flag_without_value_is_usage_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["--durability"]) == 2

@@ -1,0 +1,104 @@
+"""Error-path atomicity of auto-commit DML (no explicit transaction).
+
+A statement that fails for *data* reasons — a coercion error on the
+third row of a multi-row INSERT, a VARCHAR overflow produced halfway
+through an UPDATE — must leave the database bit-identical to the
+pre-statement state and append nothing to the WAL. These are the
+ordinary production failures the fault-injection sweep's exotic faults
+generalize; they get their own explicit regression tests.
+"""
+
+import pytest
+
+from repro import Database, StoreConfig
+from repro.errors import TypeMismatchError
+
+from .conftest import fingerprint_db
+
+_CONFIG = StoreConfig(rowgroup_size=16, bulk_load_threshold=8, delta_close_rows=8)
+
+
+def seeded(storage: str) -> Database:
+    db = Database(_CONFIG)
+    db.sql(
+        f"CREATE TABLE t (id INT NOT NULL, v VARCHAR(3), amount FLOAT) "
+        f"USING {storage}"
+    )
+    db.insert("t", [(1, "a", 1.5), (2, "b", 2.5)])
+    return db
+
+
+class TestInsertCoercionFailures:
+    @pytest.mark.parametrize("storage", ["columnstore", "rowstore", "both"])
+    def test_bad_type_in_third_row(self, storage):
+        db = seeded(storage)
+        before = fingerprint_db(db)
+        with pytest.raises(TypeMismatchError):
+            db.insert("t", [(3, "c", 3.5), (4, "d", 4.5), ("oops", "e", 5.5)])
+        assert fingerprint_db(db) == before
+        db.insert("t", [(3, "c", 3.5)])  # still usable
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 3
+
+    def test_varchar_overflow_in_later_row(self):
+        db = seeded("columnstore")
+        before = fingerprint_db(db)
+        with pytest.raises(TypeMismatchError):
+            db.insert("t", [(3, "c", 3.5), (4, "toolong", 4.5)])
+        assert fingerprint_db(db) == before
+
+    def test_null_in_not_null_column(self):
+        db = seeded("both")
+        before = fingerprint_db(db)
+        with pytest.raises(Exception):
+            db.insert("t", [(3, "c", 3.5), (None, "d", 4.5)])
+        assert fingerprint_db(db) == before
+
+
+class TestBulkLoadCoercionFailures:
+    def test_bad_row_mid_batch_above_threshold(self):
+        db = seeded("columnstore")
+        before = fingerprint_db(db)
+        rows = [(10 + i, "x", float(i)) for i in range(12)]
+        rows[7] = (17, "x", "not-a-float")
+        with pytest.raises(TypeMismatchError):
+            db.bulk_load("t", rows)
+        assert fingerprint_db(db) == before
+
+
+class TestUpdateCoercionFailures:
+    @pytest.mark.parametrize("storage", ["columnstore", "rowstore", "both"])
+    def test_computed_value_overflows_on_second_row(self, storage):
+        # v is VARCHAR(3); the update copies a wider value into it. The
+        # first matched row fits, the second overflows — the statement
+        # must fail as a whole with the first row untouched.
+        db = Database(_CONFIG)
+        db.sql(
+            f"CREATE TABLE t (id INT NOT NULL, v VARCHAR(3), w VARCHAR) "
+            f"USING {storage}"
+        )
+        db.insert("t", [(1, "a", "ok"), (2, "b", "waytoolong")])
+        before = fingerprint_db(db)
+        with pytest.raises(TypeMismatchError):
+            db.sql("UPDATE t SET v = w")
+        assert fingerprint_db(db) == before
+        assert db.sql("SELECT id, v FROM t ORDER BY id").rows == [(1, "a"), (2, "b")]
+
+
+class TestWalUntouched:
+    def test_failed_statement_appends_nothing(self, tmp_path):
+        db = Database.open(
+            str(tmp_path / "d"), durability="per-commit", default_config=_CONFIG
+        )
+        db.sql("CREATE TABLE t (id INT NOT NULL, v VARCHAR(3), amount FLOAT)")
+        db.insert("t", [(1, "a", 1.5)])
+        before = fingerprint_db(db)
+        lsn = db.wal.last_lsn
+        with pytest.raises(TypeMismatchError):
+            db.insert("t", [(2, "b", 2.5), (3, "bad", "bad")])
+        assert db.wal.last_lsn == lsn
+        assert fingerprint_db(db) == before
+        db.close()
+        # Replay after reopen lands on the same committed state.
+        assert fingerprint_db(
+            Database.open(str(tmp_path / "d"), default_config=_CONFIG)
+        ) == before

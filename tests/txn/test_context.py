@@ -1,0 +1,56 @@
+"""Unit tests for :class:`repro.txn.TxnContext`."""
+
+import pytest
+
+from repro.errors import TxnError
+from repro.txn import AUTO_COMMIT_TXN, TxnContext
+
+
+class TestTxnContext:
+    def test_undo_runs_newest_first(self):
+        txn = TxnContext(7)
+        order = []
+        txn.record("a", lambda: order.append("a"))
+        txn.record("b", lambda: order.append("b"))
+        txn.record("c", lambda: order.append("c"))
+        txn.rollback()
+        assert order == ["c", "b", "a"]
+        assert txn.rolled_back
+        assert len(txn) == 0
+
+    def test_rollback_to_savepoint_keeps_earlier_actions(self):
+        txn = TxnContext(1)
+        order = []
+        txn.record("a", lambda: order.append("a"))
+        mark = txn.savepoint()
+        txn.record("b", lambda: order.append("b"))
+        txn.record("c", lambda: order.append("c"))
+        undone = txn.rollback_to(mark)
+        assert undone == 2
+        assert order == ["c", "b"]
+        assert len(txn) == 1
+        assert not txn.rolled_back  # the transaction itself is still live
+        txn.rollback()
+        assert order == ["c", "b", "a"]
+
+    def test_discard_drops_actions_without_running(self):
+        txn = TxnContext(AUTO_COMMIT_TXN)
+        order = []
+        txn.record("a", lambda: order.append("a"))
+        txn.discard()
+        assert order == []
+        assert len(txn) == 0
+
+    def test_explicit_flag(self):
+        assert TxnContext(3).explicit
+        assert not TxnContext(AUTO_COMMIT_TXN).explicit
+
+    def test_failing_undo_raises_txn_error_naming_action(self):
+        txn = TxnContext(1)
+
+        def boom():
+            raise RuntimeError("disk on fire")
+
+        txn.record("restore the frobnicator", boom)
+        with pytest.raises(TxnError, match="restore the frobnicator"):
+            txn.rollback()

@@ -1,0 +1,250 @@
+"""BEGIN / COMMIT / ROLLBACK semantics across the whole stack.
+
+Covers the Python API (begin/commit/rollback + the context manager), the
+SQL surface (BEGIN, START TRANSACTION, COMMIT [WORK], ROLLBACK), the
+shell prompt, refusal of checkpoints/maintenance inside a transaction,
+and exact physical restoration on rollback (fingerprint comparison, not
+just query results) for every statement kind and storage kind.
+"""
+
+import pytest
+
+from repro import Database, StoreConfig, TxnError, schema, types
+from repro.cli import Shell
+
+from .conftest import fingerprint_db
+
+_CONFIG = StoreConfig(rowgroup_size=16, bulk_load_threshold=8, delta_close_rows=8)
+
+_SCHEMA_SQL = "(id INT NOT NULL, grp VARCHAR, amount FLOAT)"
+
+
+def make_db(storage: str = "columnstore") -> Database:
+    db = Database(_CONFIG)
+    db.sql(f"CREATE TABLE t {_SCHEMA_SQL} USING {storage}")
+    db.sql("INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', 2.5), (3, 'a', 3.5)")
+    return db
+
+
+def ids(db) -> list:
+    return [r[0] for r in db.sql("SELECT id FROM t ORDER BY id").rows]
+
+
+class TestApiSemantics:
+    def test_commit_keeps_work(self, registry):
+        db = make_db()
+        db.begin()
+        assert db.in_transaction
+        db.sql("INSERT INTO t VALUES (4, 'c', 4.5)")
+        db.sql("DELETE FROM t WHERE id = 1")
+        db.commit()
+        assert not db.in_transaction
+        assert ids(db) == [2, 3, 4]
+        assert registry.counter("txn.begins") == 1
+        assert registry.counter("txn.commits") == 1
+        assert registry.counter("txn.rollbacks") == 0
+
+    @pytest.mark.parametrize("storage", ["columnstore", "rowstore", "both"])
+    def test_rollback_restores_exact_state(self, storage, registry):
+        db = make_db(storage)
+        before = fingerprint_db(db)
+        db.begin()
+        db.sql("INSERT INTO t VALUES (4, 'c', 4.5), (5, 'c', 5.5)")
+        db.sql("UPDATE t SET amount = 99.0 WHERE grp = 'a'")
+        db.sql("DELETE FROM t WHERE id = 2")
+        assert ids(db) == [1, 3, 4, 5]  # uncommitted work is visible locally
+        db.rollback()
+        assert not db.in_transaction
+        assert fingerprint_db(db) == before
+        assert registry.counter("txn.rollbacks") == 1
+
+    def test_rollback_restores_delta_close_transition(self, registry):
+        # delta_close_rows=8: the 8th row closes the open delta. Rolling
+        # back must reopen it and rewind the row-id allocator so a retry
+        # produces a structurally identical index (replay determinism).
+        db = make_db()
+        before = fingerprint_db(db)
+        db.begin()
+        db.insert("t", [(10 + i, "z", float(i)) for i in range(12)])
+        db.rollback()
+        assert fingerprint_db(db) == before
+        db.insert("t", [(10 + i, "z", float(i)) for i in range(12)])
+        after_retry = fingerprint_db(db)
+        shadow = make_db()
+        shadow.insert("t", [(10 + i, "z", float(i)) for i in range(12)])
+        assert after_retry == fingerprint_db(shadow)
+
+    def test_rollback_restores_bulk_load(self, registry):
+        db = make_db()
+        before = fingerprint_db(db)
+        rows = [(100 + i, "bulk", float(i)) for i in range(20)]
+        db.begin()
+        db.bulk_load("t", rows)  # above bulk_load_threshold: row groups
+        db.rollback()
+        assert fingerprint_db(db) == before
+        # Retry after rollback assigns the same group ids / dictionary ids.
+        db.bulk_load("t", rows)
+        shadow = make_db()
+        shadow.bulk_load("t", rows)
+        assert fingerprint_db(db) == fingerprint_db(shadow)
+
+    def test_rollback_of_ddl(self, registry):
+        db = make_db("rowstore")
+        before = fingerprint_db(db)
+        db.begin()
+        db.create_table(
+            "u",
+            schema(("x", types.INT, False)),
+            storage="rowstore",
+        )
+        db.insert("u", [(1,), (2,)])
+        db.create_index("t", "t_grp", ["grp"])
+        db.rollback()
+        assert fingerprint_db(db) == before
+        assert not db.catalog.has_table("u")
+        assert "t_grp" not in db.table("t").indexes
+
+    def test_rollback_of_drop_table_restores_data(self, registry):
+        db = make_db()
+        before = fingerprint_db(db)
+        db.begin()
+        db.drop_table("t")
+        assert not db.catalog.has_table("t")
+        db.rollback()
+        assert fingerprint_db(db) == before
+        assert ids(db) == [1, 2, 3]
+
+    def test_statement_failure_keeps_transaction_usable(self, registry):
+        db = make_db()
+        db.begin()
+        db.sql("INSERT INTO t VALUES (4, 'c', 4.5)")
+        with pytest.raises(Exception):
+            db.insert("t", [(5, "d", "not-a-float")])
+        # The coercion failure happened before any mutation (nothing to
+        # roll back); the transaction stays open and usable, and the
+        # earlier statement's work is still pending and committable.
+        assert db.in_transaction
+        db.sql("INSERT INTO t VALUES (6, 'd', 6.5)")
+        db.commit()
+        assert ids(db) == [1, 2, 3, 4, 6]
+        assert registry.counter("txn.statement_rollbacks") == 0
+
+    def test_nested_begin_rejected(self, registry):
+        db = make_db()
+        db.begin()
+        with pytest.raises(TxnError, match="already open"):
+            db.begin()
+        db.rollback()
+
+    def test_commit_and_rollback_require_begin(self, registry):
+        db = make_db()
+        with pytest.raises(TxnError, match="COMMIT"):
+            db.commit()
+        with pytest.raises(TxnError, match="ROLLBACK"):
+            db.rollback()
+
+    def test_context_manager_commits(self, registry):
+        db = make_db()
+        with db.transaction():
+            db.sql("INSERT INTO t VALUES (4, 'c', 4.5)")
+        assert not db.in_transaction
+        assert ids(db) == [1, 2, 3, 4]
+        assert registry.counter("txn.commits") == 1
+
+    def test_context_manager_rolls_back_on_error(self, registry):
+        db = make_db()
+        before = fingerprint_db(db)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.sql("INSERT INTO t VALUES (4, 'c', 4.5)")
+                raise RuntimeError("abort")
+        assert not db.in_transaction
+        assert fingerprint_db(db) == before
+        assert registry.counter("txn.rollbacks") == 1
+
+    def test_close_rolls_back_open_transaction(self, registry):
+        db = make_db()
+        before = fingerprint_db(db)
+        db.begin()
+        db.sql("INSERT INTO t VALUES (4, 'c', 4.5)")
+        db.close()
+        assert not db.in_transaction
+        assert fingerprint_db(db) == before
+        assert registry.counter("txn.rollbacks") == 1
+
+
+class TestRefusals:
+    def test_save_refused_inside_transaction(self, registry, tmp_path):
+        db = make_db()
+        db.begin()
+        with pytest.raises(TxnError, match="checkpoint"):
+            db.save(str(tmp_path / "snap"))
+        db.rollback()
+        db.save(str(tmp_path / "snap"))  # fine after the txn ends
+
+    def test_maintenance_refused_inside_transaction(self, registry):
+        db = make_db()
+        db.begin()
+        with pytest.raises(TxnError):
+            db.run_tuple_mover("t")
+        with pytest.raises(TxnError):
+            db.rebuild("t")
+        with pytest.raises(TxnError):
+            db.set_archival("t", True)
+        db.rollback()
+
+
+class TestSqlSurface:
+    @pytest.mark.parametrize(
+        "begin,commit",
+        [
+            ("BEGIN", "COMMIT"),
+            ("BEGIN TRANSACTION", "COMMIT TRANSACTION"),
+            ("BEGIN WORK", "COMMIT WORK"),
+            ("START TRANSACTION", "COMMIT"),
+        ],
+    )
+    def test_begin_commit_spellings(self, begin, commit, registry):
+        db = make_db()
+        assert db.sql(begin) is None
+        assert db.in_transaction
+        db.sql("INSERT INTO t VALUES (4, 'c', 4.5)")
+        assert db.sql(commit) is None
+        assert ids(db) == [1, 2, 3, 4]
+
+    @pytest.mark.parametrize("rollback", ["ROLLBACK", "ROLLBACK WORK", "ROLLBACK TRANSACTION"])
+    def test_rollback_spellings(self, rollback, registry):
+        db = make_db()
+        before = fingerprint_db(db)
+        db.sql("BEGIN")
+        db.sql("INSERT INTO t VALUES (4, 'c', 4.5)")
+        db.sql(rollback)
+        assert fingerprint_db(db) == before
+
+    def test_commit_without_begin_is_sql_error(self, registry):
+        db = make_db()
+        with pytest.raises(TxnError):
+            db.sql("COMMIT")
+
+
+class TestShellFlow:
+    def test_prompt_marks_open_transaction(self, registry):
+        shell = Shell(make_db())
+        assert shell.prompt == "repro=> "
+        assert shell.feed_line("BEGIN;") == ["ok"]
+        assert shell.prompt == "repro*=> "
+        shell.feed_line("INSERT INTO t VALUES (4, 'c', 4.5);")
+        assert shell.feed_line("COMMIT;") == ["ok"]
+        assert shell.prompt == "repro=> "
+
+    def test_txn_errors_surface_as_shell_errors(self, registry):
+        shell = Shell(make_db())
+        out = shell.feed_line("COMMIT;")
+        assert out and out[0].startswith("error:")
+
+    def test_stats_reports_open_transaction(self, registry):
+        shell = Shell(make_db())
+        shell.feed_line("BEGIN;")
+        out = shell.run_meta("\\stats")
+        assert any("transaction is open" in line for line in out)
+        assert any("1 begun" in line for line in out)

@@ -237,6 +237,27 @@ class TestCheckpoints:
         recovered = Database.open(str(target), default_config=_CONFIG)
         assert recovered.sql("SELECT COUNT(*) AS n FROM r").scalar() == 1
 
+    def test_corrupt_manifest_with_wal_refuses_to_open(self, tmp_path):
+        # Regression: a corrupt manifest used to fall into the "no
+        # snapshot yet, recover from the log alone" path — but the
+        # checkpoint had truncated the log, so the database silently
+        # opened *empty*. Corruption must fail the open instead.
+        target = tmp_path / "corruptsnap"
+        db = Database.open(str(target), durability="per-commit",
+                           default_config=_CONFIG)
+        db.sql("CREATE TABLE r (id INT NOT NULL, grp VARCHAR, amount FLOAT)")
+        db.insert("r", [(1, "a", 1.0)])
+        db.save(str(target))  # checkpoint: the log no longer holds state
+        db.close()
+        manifest_path = target / MANIFEST_NAME
+        data = bytearray(manifest_path.read_bytes())
+        data[len(data) // 2] ^= 0x10
+        manifest_path.write_bytes(bytes(data))
+        from repro.errors import RecoveryError
+
+        with pytest.raises(RecoveryError, match="manifest"):
+            Database.open(str(target), default_config=_CONFIG)
+
     def test_plain_load_without_wal_dir_stays_walless(self, tmp_path):
         db = Database(_CONFIG)
         db.sql("CREATE TABLE r (id INT NOT NULL, grp VARCHAR, amount FLOAT)")
