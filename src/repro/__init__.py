@@ -20,9 +20,16 @@ Quickstart::
 """
 
 from . import types
+from .concurrency import ConcurrentDatabase, Session
 from .db.catalog import StorageKind, Table
 from .db.database import Database, Result
-from .errors import CorruptBlobError, RecoveryError, ReproError, TxnError
+from .errors import (
+    ConcurrencyError,
+    CorruptBlobError,
+    RecoveryError,
+    ReproError,
+    TxnError,
+)
 from .observability import ExecutionStats, MetricsRegistry, get_registry
 from .schema import ColumnDef, TableSchema, schema
 from .storage.columnstore import ColumnStoreIndex
@@ -33,6 +40,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ColumnDef",
     "ColumnStoreIndex",
+    "ConcurrencyError",
+    "ConcurrentDatabase",
     "CorruptBlobError",
     "Database",
     "ExecutionStats",
@@ -40,6 +49,7 @@ __all__ = [
     "RecoveryError",
     "ReproError",
     "Result",
+    "Session",
     "StorageKind",
     "StoreConfig",
     "Table",

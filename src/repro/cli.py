@@ -3,6 +3,10 @@
 ``python -m repro check <dir>`` runs the offline integrity scan instead
 (per-file checksum + decode verdicts; exit status 1 if anything is bad).
 
+``python -m repro serve <dir> [--host H] [--port N]`` hosts the database
+on a local socket: one session per connection, JSON-lines protocol,
+snapshot reads concurrent with serialized writers (see repro.server).
+
 A small REPL over :class:`repro.Database` with psql-style meta-commands:
 
     \\tables              list tables
@@ -346,6 +350,45 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         durability = args[at + 1]
         del args[at : at + 2]
+    if args and args[0] == "serve":
+        # `repro serve <dir> [--port N] [--host H]`: host the database
+        # on a local socket — one session per connection, JSON lines
+        # (see repro.server). Blocks until Ctrl-C, then drains.
+        rest = args[1:]
+        host, port = None, 0
+        if "--host" in rest:
+            at = rest.index("--host")
+            if at + 1 >= len(rest):
+                print("usage: python -m repro serve <directory> [--host H] [--port N]")
+                return 2
+            host = rest[at + 1]
+            del rest[at : at + 2]
+        if "--port" in rest:
+            at = rest.index("--port")
+            if at + 1 >= len(rest):
+                print("usage: python -m repro serve <directory> [--host H] [--port N]")
+                return 2
+            try:
+                port = int(rest[at + 1])
+            except ValueError:
+                print(f"invalid port {rest[at + 1]!r}")
+                return 2
+            del rest[at : at + 2]
+        if len(rest) != 1:
+            print("usage: python -m repro serve <directory> [--host H] [--port N]")
+            return 2
+        from .server import DEFAULT_HOST, serve
+
+        try:
+            return serve(
+                rest[0],
+                host=host or DEFAULT_HOST,
+                port=port,
+                durability=durability or "group",
+            )
+        except (ReproError, OSError) as exc:
+            print(f"serve failed: {exc}")
+            return 1
     if args and args[0] == "check":
         # `repro check <dir>`: offline integrity scan. Exit 0 only when
         # the report is clean — corruption, a missing directory, or a

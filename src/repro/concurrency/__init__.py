@@ -1,0 +1,14 @@
+"""Multi-session concurrency layer: snapshot reads, serialized writes.
+
+See DESIGN.md "Concurrency" for the model. Public surface:
+
+* :class:`ConcurrentDatabase` — shared-database coordinator.
+* :class:`Session` — one client's view (snapshot reads, owned txns).
+* :class:`ReadWriteLock` — the writer-preference lock both use.
+"""
+
+from .database import ConcurrentDatabase
+from .rwlock import ReadWriteLock
+from .session import Session, pin_plan
+
+__all__ = ["ConcurrentDatabase", "ReadWriteLock", "Session", "pin_plan"]

@@ -1,0 +1,133 @@
+"""ConcurrentDatabase: a multi-session facade over one shared Database.
+
+The core :class:`~repro.db.database.Database` is single-caller by
+design — one thread parses, mutates and reads. This facade adds the
+coordination layer from DESIGN.md "Concurrency": N sessions share the
+engine through one :class:`~repro.concurrency.rwlock.ReadWriteLock`,
+readers pin snapshots, writers serialize, and maintenance operations
+(tuple mover, REBUILD, archival, save/checkpoint) take the exclusive
+side like any other writer. The embedded server
+(:mod:`repro.server`) opens one session per connection against an
+instance of this class.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any
+
+from ..db.database import Database
+from ..errors import ConcurrencyError
+from .rwlock import ReadWriteLock
+from .session import Session
+
+
+class ConcurrentDatabase:
+    """Shared-database coordinator: sessions, RW lock, maintenance.
+
+    Wraps an existing :class:`Database` (``ConcurrentDatabase(db)``) or
+    opens a durable one (:meth:`open`). The wrapped engine stays fully
+    functional for direct single-threaded use, but once sessions are
+    live all access should flow through them or through this facade's
+    maintenance wrappers — direct ``db`` calls bypass the lock.
+    """
+
+    def __init__(self, db: Database | None = None) -> None:
+        self.db = db if db is not None else Database()
+        self.lock = ReadWriteLock()
+        self._sessions: dict[str, Session] = {}
+        self._registry_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        # Lazily-created session per thread for the .sql() convenience.
+        self._thread_sessions = threading.local()
+
+    @classmethod
+    def open(cls, path: str, **kwargs: Any) -> "ConcurrentDatabase":
+        """Open a durable database (see :meth:`Database.open`) wrapped
+        for concurrent use."""
+        return cls(Database.open(path, **kwargs))
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def session(self, name: str | None = None) -> Session:
+        """Open a new named session. Close it (or use ``with``) when done."""
+        with self._registry_lock:
+            if self._closed:
+                raise ConcurrencyError("database is closed")
+            if name is None:
+                name = f"session-{next(self._ids)}"
+            if name in self._sessions:
+                raise ConcurrencyError(f"session name {name!r} is already in use")
+            session = Session(name, self.db, self.lock, on_close=self._forget)
+            self._sessions[name] = session
+            return session
+
+    def _forget(self, session: Session) -> None:
+        with self._registry_lock:
+            self._sessions.pop(session.name, None)
+
+    @property
+    def session_names(self) -> list[str]:
+        with self._registry_lock:
+            return sorted(self._sessions)
+
+    def sql(self, text: str, **options: Any):
+        """Run one statement on this thread's implicit session.
+
+        Each calling thread gets its own lazily-created session, so
+        plain ``cdb.sql(...)`` from worker threads composes correctly
+        with explicit transactions (which are per-session).
+        """
+        session = getattr(self._thread_sessions, "session", None)
+        if session is None or session.closed:
+            session = self.session(f"thread-{threading.get_ident()}")
+            self._thread_sessions.session = session
+        return session.sql(text, **options)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance — exclusive, like any writer
+    # ------------------------------------------------------------------ #
+    # These reorganize shared structures (and log themselves), so they
+    # take the write side: no reader is mid-pin and no writer is
+    # mid-statement while they run. Readers that already pinned are
+    # unaffected — reorganization swaps in new objects.
+    def run_tuple_mover(self, table: str, include_open: bool = False):
+        with self.lock.write_locked():
+            return self.db.run_tuple_mover(table, include_open)
+
+    def rebuild(self, table: str) -> None:
+        with self.lock.write_locked():
+            self.db.rebuild(table)
+
+    def set_archival(self, table: str, enabled: bool) -> None:
+        with self.lock.write_locked():
+            self.db.set_archival(table, enabled)
+
+    def save(self, path: str, disk=None, force: bool = False) -> None:
+        with self.lock.write_locked():
+            self.db.save(path, disk=disk, force=force)
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close every session (rolling back open transactions), then
+        the engine. Safe to call twice."""
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
+        with self.lock.write_locked():
+            self.db.close()
+
+    def __enter__(self) -> "ConcurrentDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

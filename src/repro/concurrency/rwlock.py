@@ -1,0 +1,170 @@
+"""A writer-preference read/write lock for the session layer.
+
+The concurrency model (DESIGN.md "Concurrency") needs exactly one lock:
+readers share it while they parse, bind, compile and pin a snapshot;
+writers and maintenance hold it exclusively while they mutate shared
+structures. Python's standard library has no RW lock, so this is a
+small condition-variable implementation with the two properties the
+session layer relies on:
+
+* **Writer preference.** Once a writer is waiting, new readers queue
+  behind it. Without this, a steady stream of short readers starves
+  the writer forever (readers overlap, so the reader count never
+  reaches zero). With it, writers interleave fairly with reader
+  bursts — the E18 benchmark measures exactly this mix.
+
+* **Reentrant write side.** The owner of the write lock may acquire it
+  again (depth-counted). Session transactions need this: BEGIN takes
+  the write lock and holds it until COMMIT/ROLLBACK, and every DML
+  statement inside the transaction re-enters through the same
+  acquire path.
+
+The read side is deliberately **not** reentrant and a write-lock owner
+must not request a read lock (it would self-deadlock behind its own
+writer preference); the session layer never does either — it acquires
+at statement boundaries only, in ``try/finally``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ConcurrencyError
+from ..observability import registry as metrics
+
+# How long acquire() waits before concluding the system is wedged.
+# Generous on purpose: it exists to turn a deadlock bug into a loud
+# ConcurrencyError instead of a hung process, not to time out real work.
+DEFAULT_ACQUIRE_TIMEOUT_SECONDS = 60.0
+
+
+class ReadWriteLock:
+    """Shared/exclusive lock with writer preference and reentrant writes."""
+
+    def __init__(self, timeout: float | None = DEFAULT_ACQUIRE_TIMEOUT_SECONDS) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writer: int | None = None  # owning thread ident
+        self._write_depth = 0
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+    def acquire_read(self) -> None:
+        """Take the shared side; blocks while a writer holds or waits."""
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer == me:
+                raise ConcurrencyError(
+                    "read-lock request while holding the write lock "
+                    "(would self-deadlock behind writer preference)"
+                )
+            if self._writer is not None or self._writers_waiting:
+                metrics.increment("concurrency.read_waits")
+                deadline = self._deadline()
+                while self._writer is not None or self._writers_waiting:
+                    self._wait(deadline, "read")
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            if self._readers <= 0:
+                raise ConcurrencyError("release_read without a matching acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+    def acquire_write(self) -> None:
+        """Take the exclusive side; reentrant for the owning thread."""
+        me = threading.get_ident()
+        with self._condition:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            self._writers_waiting += 1
+            try:
+                if self._readers or self._writer is not None:
+                    metrics.increment("concurrency.write_waits")
+                    deadline = self._deadline()
+                    while self._readers or self._writer is not None:
+                        self._wait(deadline, "write")
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self, *, force: bool = False) -> None:
+        """Release one write-side hold.
+
+        ``force=True`` releases the lock *entirely* even from a thread
+        that does not own it — teardown only (closing a session whose
+        owning thread is gone would otherwise wedge the lock forever).
+        """
+        with self._condition:
+            if self._writer is None:
+                raise ConcurrencyError("release_write without a held write lock")
+            if self._writer != threading.get_ident():
+                if not force:
+                    raise ConcurrencyError(
+                        "release_write by a thread that does not hold the write lock"
+                    )
+                self._write_depth = 0
+            else:
+                self._write_depth = 0 if force else self._write_depth - 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._condition.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Context managers / introspection
+    # ------------------------------------------------------------------ #
+    def read_locked(self) -> "_Guard":
+        return _Guard(self.acquire_read, self.release_read)
+
+    def write_locked(self) -> "_Guard":
+        return _Guard(self.acquire_write, self.release_write)
+
+    @property
+    def write_held_by_me(self) -> bool:
+        with self._condition:
+            return self._writer == threading.get_ident()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _deadline(self) -> float | None:
+        if self._timeout is None:
+            return None
+        return threading.TIMEOUT_MAX if self._timeout <= 0 else self._timeout
+
+    def _wait(self, budget: float | None, side: str) -> None:
+        # ``budget`` is mutated by reference semantics via the caller's
+        # loop structure being time-bounded per wait: each wait() call
+        # may consume up to the whole budget, which is fine — the point
+        # is a bounded, loud failure, not precise accounting.
+        if not self._condition.wait(timeout=budget):
+            raise ConcurrencyError(
+                f"timed out after {self._timeout}s waiting for the {side} lock "
+                "(likely a lock leak or deadlock — see DESIGN.md Concurrency)"
+            )
+
+
+class _Guard:
+    """Minimal context manager pairing one acquire with one release."""
+
+    __slots__ = ("_acquire", "_release")
+
+    def __init__(self, acquire, release) -> None:
+        self._acquire = acquire
+        self._release = release
+
+    def __enter__(self) -> None:
+        self._acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self._release()

@@ -1,0 +1,268 @@
+"""One client's view of a shared Database: snapshot reads, serialized writes.
+
+A :class:`Session` classifies each SQL statement and routes it through
+the database-wide :class:`~repro.concurrency.rwlock.ReadWriteLock`:
+
+* **Reads** (SELECT) take the shared side only long enough to parse,
+  bind, compile and *pin* the plan — capture every column-store scan's
+  row-group list, materialized delete masks and frozen delta copies
+  (:meth:`ColumnStoreIndex.pin_scan_units`). Then the lock is released
+  and execution runs lock-free against the pinned snapshot: row groups
+  are immutable and every mutation path swaps in new objects, so the
+  pinned view stays internally consistent no matter what writers commit
+  meanwhile. Plans with unpinnable leaves (row-store scans and index
+  seeks read mutable B-trees in place) execute entirely under the
+  shared lock instead — correct, just less concurrent.
+
+* **Writes** (INSERT/UPDATE/DELETE/DDL) take the exclusive side for the
+  statement, funneling into the existing WAL/undo path unchanged.
+
+* **Transaction control**: BEGIN acquires the exclusive side and holds
+  it until COMMIT/ROLLBACK, so an explicit transaction serializes the
+  world exactly like the single-session engine did — but now tagged
+  with the session name, and the Database refuses to let any other
+  session end it. Statements inside the transaction re-enter the
+  (reentrant) write lock. A session with an open transaction must be
+  driven from the thread that opened it — the write lock is owned per
+  thread, which is also what makes reentrancy safe.
+
+Every lock acquire is paired with a release in ``try/finally``: a
+statement that dies mid-flight (binder error, constraint violation,
+injected fault) must never leave the shared lock held, or the whole
+server wedges on the next writer.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..errors import ConcurrencyError
+from ..exec.operators.scan import ColumnStoreScan
+from ..observability import registry as metrics
+from ..sql import ast as A
+from ..sql.binder import Binder
+from ..sql.parser import parse_statement
+from .rwlock import ReadWriteLock
+
+# Leaf operators that read mutable structures in place and therefore
+# cannot be pinned: their plans run under the shared lock end to end.
+_READ_ONLY_STATEMENTS = (A.SelectStatement, A.ExplainStatement)
+
+
+def pin_plan(physical) -> bool:
+    """Pin every column-store scan leaf of a compiled plan to a snapshot.
+
+    Returns True when the whole plan is *fully pinned* — every leaf is a
+    :class:`ColumnStoreScan` — so execution may proceed without holding
+    the shared lock. Leaves that are not column-store scans (row-store
+    heap scans, index seeks, the row-mode columnstore reader) iterate
+    mutable structures in place; one such leaf makes the plan unpinned.
+    """
+    fully_pinned = True
+    stack = [physical.root]
+    while stack:
+        op = stack.pop()
+        children = op.child_operators()
+        if children:
+            stack.extend(children)
+        elif isinstance(op, ColumnStoreScan):
+            op.pin()
+        else:
+            fully_pinned = False
+    return fully_pinned
+
+
+class Session:
+    """A named client of one shared Database (see module docstring).
+
+    Obtained from :meth:`ConcurrentDatabase.session`; usable as a
+    context manager. One session serializes its own statements with an
+    internal lock, so sharing a Session object between threads is safe
+    but pointless — open one session per thread instead.
+    """
+
+    def __init__(self, name: str, db, lock: ReadWriteLock, on_close=None) -> None:
+        self.name = name
+        self._db = db
+        self._lock = lock
+        self._on_close = on_close
+        self._closed = False
+        self._in_txn = False
+        self._txn_thread: int | None = None
+        # Serializes statements *within* this session; the RW lock
+        # coordinates *across* sessions.
+        self._statement_lock = threading.RLock()
+        self.statements = 0
+        metrics.increment("concurrency.sessions")
+
+    # ------------------------------------------------------------------ #
+    # Public surface
+    # ------------------------------------------------------------------ #
+    def sql(self, text: str, **options: Any):
+        """Execute one SQL statement with session-level coordination."""
+        with self._statement_lock:
+            self._require_open()
+            statement = parse_statement(text)  # pure text work: no lock
+            self.statements += 1
+            if isinstance(statement, A.BeginStatement):
+                return self._run_begin()
+            if isinstance(statement, (A.CommitStatement, A.RollbackStatement)):
+                return self._run_txn_end(statement)
+            if self._in_txn:
+                return self._run_in_txn(statement, options)
+            if isinstance(statement, _READ_ONLY_STATEMENTS):
+                return self._run_read(statement, options)
+            return self._run_write(statement, options)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_txn
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Roll back any open transaction and release all locks."""
+        with self._statement_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._in_txn:
+                try:
+                    self._db.rollback(owner=self.name)
+                finally:
+                    self._in_txn = False
+                    self._txn_thread = None
+                    # close() may run on a different thread than the one
+                    # that ran BEGIN (server shutdown); force fully
+                    # releases the abandoned write lock either way.
+                    self._lock.release_write(force=True)
+            if self._on_close is not None:
+                self._on_close(self)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("in-txn" if self._in_txn else "idle")
+        return f"<Session {self.name} {state} statements={self.statements}>"
+
+    # ------------------------------------------------------------------ #
+    # Statement routes
+    # ------------------------------------------------------------------ #
+    def _run_read(self, statement, options: dict[str, Any]):
+        """SELECT/EXPLAIN outside a transaction: snapshot-pinned read.
+
+        The shared lock covers bind + compile + pin; if every leaf
+        pinned, execution happens after release — concurrently with
+        other readers *and* with any writer that sneaks in between.
+        """
+        from ..sql.runner import run_parsed
+
+        self._lock.acquire_read()
+        try:
+            if not isinstance(statement, A.SelectStatement):
+                # EXPLAIN [ANALYZE] is rare and diagnostic: run it under
+                # the shared lock end to end rather than teaching the
+                # stats renderer about pinning.
+                metrics.increment("concurrency.locked_statements")
+                return run_parsed(self._db, statement, **options)
+            stats = bool(options.pop("stats", False))
+            plan = Binder(self._db.catalog).bind_select(statement)
+            physical, dtypes = self._db._prepare(plan, **options)
+            if not pin_plan(physical):
+                metrics.increment("concurrency.locked_statements")
+                return self._db._run_physical(physical, dtypes, stats=stats)
+        finally:
+            self._lock.release_read()
+        # Fully pinned: execute against the frozen snapshot, lock-free.
+        metrics.increment("concurrency.pinned_statements")
+        return self._db._run_physical(physical, dtypes, stats=stats)
+
+    def _run_write(self, statement, options: dict[str, Any]):
+        """Auto-commit DML/DDL: exclusive for the statement's duration."""
+        from ..sql.runner import run_parsed
+
+        self._lock.acquire_write()
+        try:
+            return run_parsed(self._db, statement, **options)
+        finally:
+            self._lock.release_write()
+
+    def _run_in_txn(self, statement, options: dict[str, Any]):
+        """Any statement inside this session's open transaction.
+
+        The session already holds the write lock (since BEGIN); the
+        reentrant acquire both asserts we are on the owning thread and
+        keeps the acquire/release pairing uniform.
+        """
+        from ..sql.runner import run_parsed
+
+        self._require_txn_thread()
+        self._lock.acquire_write()
+        try:
+            return run_parsed(self._db, statement, **options)
+        finally:
+            self._lock.release_write()
+
+    def _run_begin(self):
+        if self._in_txn:
+            # Delegate for the standard "already open" TxnError without
+            # double-acquiring the lock.
+            self._db.begin(owner=self.name)
+            raise AssertionError("unreachable: nested BEGIN must raise")
+        self._lock.acquire_write()
+        try:
+            self._db.begin(owner=self.name)
+        except BaseException:
+            self._lock.release_write()
+            raise
+        self._in_txn = True
+        self._txn_thread = threading.get_ident()
+        return None
+
+    def _run_txn_end(self, statement):
+        verb_commit = isinstance(statement, A.CommitStatement)
+        if not self._in_txn:
+            # No transaction opened by this session: let the Database
+            # raise its TxnError (or ownership error) — we hold no lock
+            # to release.
+            if verb_commit:
+                self._db.commit(owner=self.name)
+            else:
+                self._db.rollback(owner=self.name)
+            return None
+        self._require_txn_thread()
+        try:
+            if verb_commit:
+                self._db.commit(owner=self.name)
+            else:
+                self._db.rollback(owner=self.name)
+        finally:
+            # Even if COMMIT fails the transaction slot is in doubt; a
+            # held lock would wedge every other session, so release it
+            # and let the error surface.
+            self._in_txn = False
+            self._txn_thread = None
+            self._lock.release_write()
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Guards
+    # ------------------------------------------------------------------ #
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConcurrencyError(f"session {self.name!r} is closed")
+
+    def _require_txn_thread(self) -> None:
+        if self._txn_thread != threading.get_ident():
+            raise ConcurrencyError(
+                f"session {self.name!r} has a transaction opened on another "
+                "thread — a transaction must be driven by the thread that "
+                "ran BEGIN (the write lock is owned per thread)"
+            )

@@ -334,10 +334,19 @@ class Table:
 
 
 class Catalog:
-    """Name -> :class:`Table` registry (the planner's CatalogView)."""
+    """Name -> :class:`Table` registry (the planner's CatalogView).
+
+    ``version`` is a monotonic DDL counter bumped by every create / drop
+    / restore. Unlike the database's catalog *epoch* (which transaction
+    rollback restores, because it feeds the save fingerprint), the
+    version never goes backwards — snapshot readers record it at pin
+    time to detect that the table set they bound against is still the
+    one they are scanning.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        self.version = 0
 
     def create_table(
         self,
@@ -351,12 +360,14 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         table = Table(name, schema, storage, config)
         self._tables[key] = table
+        self.version += 1
         return table
 
     def drop_table(self, name: str) -> None:
         if name.lower() not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[name.lower()]
+        self.version += 1
 
     def restore_table(self, table: Table) -> None:
         """Re-register a dropped table object (DROP TABLE undo)."""
@@ -364,6 +375,7 @@ class Catalog:
         if key in self._tables:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[key] = table
+        self.version += 1
 
     def table(self, name: str) -> Table:
         try:

@@ -127,7 +127,9 @@ class Database:
         COMMIT means the work was never promised.
         """
         if self._txn is not None:
-            self.rollback()
+            # Teardown path: pass the transaction's own owner tag so an
+            # abandoned session transaction still rolls back cleanly.
+            self.rollback(self._txn.owner)
         if self._wal is not None:
             self._wal.close()
 
@@ -153,11 +155,16 @@ class Database:
         """Is an explicit BEGIN..COMMIT/ROLLBACK transaction open?"""
         return self._txn is not None
 
-    def begin(self) -> None:
+    def begin(self, owner: str | None = None) -> None:
         """Open an explicit transaction (SQL ``BEGIN``).
 
         Nested transactions are not supported: BEGIN inside an open
         transaction is an error rather than a silent commit-and-restart.
+
+        ``owner`` tags the transaction with the session that opened it
+        (the concurrency layer passes the session name): COMMIT and
+        ROLLBACK then verify the same owner is ending it, so one session
+        can never commit or abort another session's work.
         """
         if self._txn is not None:
             raise TxnError(
@@ -172,12 +179,12 @@ class Database:
         else:
             txn_id = self._next_txn_id
             self._next_txn_id += 1
-        self._txn = TxnContext(txn_id)
+        self._txn = TxnContext(txn_id, owner=owner)
         metrics.increment("txn.begins")
 
-    def commit(self) -> None:
+    def commit(self, owner: str | None = None) -> None:
         """Make the open transaction's work permanent (SQL ``COMMIT``)."""
-        txn = self._require_txn("COMMIT")
+        txn = self._require_txn("COMMIT", owner)
         if self._wal is not None:
             # The commit marker is what promotes the transaction's
             # records from "present in the log" to "applied by replay";
@@ -189,9 +196,9 @@ class Database:
         self._txn = None
         metrics.increment("txn.commits")
 
-    def rollback(self) -> None:
+    def rollback(self, owner: str | None = None) -> None:
         """Undo the open transaction's work (SQL ``ROLLBACK``)."""
-        txn = self._require_txn("ROLLBACK")
+        txn = self._require_txn("ROLLBACK", owner)
         # Undo in-memory effects first: if an undo action itself fails,
         # the abort marker must not already claim the rollback happened.
         txn.rollback()
@@ -215,9 +222,17 @@ class Database:
             if self._txn is not None:
                 self.commit()
 
-    def _require_txn(self, verb: str) -> TxnContext:
+    def _require_txn(self, verb: str, owner: str | None = None) -> TxnContext:
         if self._txn is None:
             raise TxnError(f"{verb} outside a transaction (no BEGIN is open)")
+        # A transaction opened by a session may only be ended by that
+        # session. Direct (ownerless) use stays unrestricted so existing
+        # single-caller code and WAL replay are unaffected.
+        if self._txn.owner is not None and owner != self._txn.owner:
+            raise TxnError(
+                f"{verb} by session {owner!r} on a transaction owned by "
+                f"session {self._txn.owner!r}"
+            )
         return self._txn
 
     def _require_no_txn(self, operation: str) -> None:
@@ -581,9 +596,24 @@ class Database:
         :class:`~repro.observability.ExecutionStats` handle — collection
         never changes the produced rows, only observes them.
         """
+        physical, dtypes = self._prepare(plan, **options)
+        return self._run_physical(physical, dtypes, stats=stats)
+
+    def _prepare(self, plan: LogicalNode, **options: Any):
+        """Compile a logical plan and resolve output dtypes (no execution).
+
+        Split from :meth:`execute` for the concurrency layer: a session
+        compiles under the shared catalog lock, pins the physical plan's
+        scan leaves to a snapshot, then releases the lock and runs
+        :meth:`_run_physical` lock-free.
+        """
         dtypes_by_name = infer_output_dtypes(plan, self.catalog)
         physical = self.optimizer.compile(plan, **options)
         dtypes = [dtypes_by_name[name] for name in physical.columns]
+        return physical, dtypes
+
+    def _run_physical(self, physical, dtypes, stats: bool = False) -> Result:
+        """Execute a compiled plan and present results as Python values."""
         execution_stats: ExecutionStats | None = None
         if stats:
             raw_rows, execution_stats = physical.run_with_stats()

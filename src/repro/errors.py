@@ -97,6 +97,17 @@ class TxnError(ReproError):
     """
 
 
+class ConcurrencyError(ReproError):
+    """Misuse of the multi-session concurrency layer.
+
+    Raised for statements against a closed session or server, for a
+    reader/writer lock acquisition that exceeds its timeout (a likely
+    sign of a session idling inside BEGIN..COMMIT while holding the
+    write side), and for session-ownership violations (one session
+    trying to COMMIT another session's transaction).
+    """
+
+
 class CatalogError(ReproError):
     """Unknown or duplicate table / column / index name."""
 

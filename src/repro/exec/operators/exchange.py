@@ -24,6 +24,12 @@ from .base import BatchOperator
 
 _QUEUE_SIZE = 8
 _DONE = object()
+# How often a blocked worker re-checks the cancellation event. Workers
+# never block indefinitely on the output queue: a consumer that abandons
+# the generator (LIMIT above an exchange) cancels, and every worker must
+# notice within one tick so its thread can be joined.
+_CANCEL_POLL_SECONDS = 0.05
+_JOIN_TIMEOUT_SECONDS = 10.0
 
 
 class BatchExchange(BatchOperator):
@@ -60,33 +66,112 @@ class BatchExchange(BatchOperator):
             yield from self.children[0].batches()
             return
         out: queue.Queue = queue.Queue(maxsize=_QUEUE_SIZE * len(self.children))
+        cancel = threading.Event()
+        # Appends are GIL-atomic; errors[0] is the first error that landed
+        # anywhere, and it is raised with its original traceback.
         errors: list[BaseException] = []
+        done = [0]
+        done_lock = threading.Lock()
+
+        def cancellable_put(batch: Batch) -> bool:
+            """Put into the bounded queue unless cancellation arrives.
+
+            The old code used a plain blocking ``put``: when the consumer
+            abandoned the generator with the queue full, every worker
+            blocked forever and its thread leaked. A timed-put loop keeps
+            each worker responsive to the cancel event.
+            """
+            while not cancel.is_set():
+                try:
+                    out.put(batch, timeout=_CANCEL_POLL_SECONDS)
+                    return True
+                except queue.Full:
+                    continue
+            return False
 
         def worker(child: BatchOperator) -> None:
             try:
                 for batch in child.batches():
-                    out.put(batch)
-            except BaseException as exc:  # propagate to the consumer
+                    if not cancellable_put(batch):
+                        return
+            except BaseException as exc:
                 errors.append(exc)
+                # Fail fast: siblings stop at their next queue poll
+                # instead of draining to completion, so the consumer sees
+                # the *first* error promptly, not the last one late.
+                cancel.set()
             finally:
-                out.put(_DONE)
+                with done_lock:
+                    done[0] += 1
+                try:
+                    # Wake a consumer blocked on an empty queue. Dropping
+                    # the wakeup when the queue is full is safe: a full
+                    # queue means get() has plenty to return, and the
+                    # consumer re-checks ``done`` whenever it runs dry.
+                    out.put_nowait(_DONE)
+                except queue.Full:
+                    pass
 
         threads = [
-            threading.Thread(target=worker, args=(child,), daemon=True)
+            threading.Thread(
+                target=worker, args=(child,), daemon=True, name="repro-exchange"
+            )
             for child in self.children
         ]
         for thread in threads:
             thread.start()
-        finished = 0
         try:
-            while finished < len(threads):
-                item = out.get()
+            while True:
+                if errors:
+                    break
+                try:
+                    item = out.get(timeout=_CANCEL_POLL_SECONDS)
+                except queue.Empty:
+                    # ``done`` is read before emptiness: once every worker
+                    # has exited no further put can happen, so seeing
+                    # done == n and then an empty queue is a sound finish.
+                    if done[0] == len(threads) and out.empty():
+                        break
+                    continue
                 if item is _DONE:
-                    finished += 1
+                    # FIFO makes the last worker's _DONE the last item in
+                    # the queue, so normal completion exits here without
+                    # paying the Empty-timeout tick.
+                    if done[0] == len(threads) and out.empty():
+                        break
                     continue
                 yield item
         finally:
-            for thread in threads:
-                thread.join(timeout=5.0)
+            # Runs on normal completion, on error, and on generator close
+            # (the consumer stopping early): cancel, unblock any worker
+            # parked on the full queue, and reap every thread.
+            cancel.set()
+            self._reap(out, threads)
         if errors:
             raise errors[0]
+
+    @staticmethod
+    def _reap(out: queue.Queue, threads: list[threading.Thread]) -> None:
+        """Drain the queue and join every worker thread.
+
+        Draining is interleaved with joining: a worker can be mid-``put``
+        when cancellation lands, so space must keep appearing until every
+        thread has observed the event and exited. A worker that cannot be
+        joined within the timeout is a bug, not a condition to ignore —
+        raise rather than quietly leak the thread.
+        """
+        deadline = _JOIN_TIMEOUT_SECONDS
+        for thread in threads:
+            while thread.is_alive():
+                try:
+                    while True:
+                        out.get_nowait()
+                except queue.Empty:
+                    pass
+                thread.join(timeout=_CANCEL_POLL_SECONDS)
+                deadline -= _CANCEL_POLL_SECONDS
+                if deadline <= 0 and thread.is_alive():
+                    raise ExecutionError(
+                        "exchange worker thread failed to stop after "
+                        f"cancellation ({thread.name})"
+                    )

@@ -87,6 +87,9 @@ class ColumnStoreScan(BatchOperator):
         self._reported: dict[str, int] = {}
         self._conjuncts = split_conjuncts(predicate)
         self._ranges = extract_column_ranges(self._conjuncts)
+        # Snapshot reads install a pinned unit list (see pin()); when
+        # set, batches() never touches the live directory or bitmap.
+        self._pinned_units: list[ScanUnit] | None = None
 
     @property
     def output_names(self) -> list[str]:
@@ -103,9 +106,33 @@ class ColumnStoreScan(BatchOperator):
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
+    def pin(self, units: list[ScanUnit] | None = None) -> None:
+        """Pin this scan to a snapshot-stable unit list.
+
+        Called by the concurrency layer at statement start, while the
+        session read lock guarantees no writer is active: afterwards the
+        scan iterates the pinned units — immutable row groups with masks
+        materialized at pin time, frozen delta captures — so concurrent
+        DML, the tuple mover, and REBUILD can proceed without mutating
+        this scan's view out from under it. ``units`` lets exchange
+        shards of one parallel scan share a single capture.
+        """
+        self._pinned_units = (
+            units if units is not None else self.index.pin_scan_units()
+        )
+
+    @property
+    def pinned(self) -> bool:
+        return self._pinned_units is not None
+
     def batches(self) -> Iterator[Batch]:
+        source = (
+            self._pinned_units
+            if self._pinned_units is not None
+            else self.index.scan_units()
+        )
         try:
-            for ordinal, unit in enumerate(self.index.scan_units()):
+            for ordinal, unit in enumerate(source):
                 if self.shard is not None and ordinal % self.shard[1] != self.shard[0]:
                     continue
                 self.stats.units_seen += 1

@@ -67,6 +67,12 @@ STABLE_COUNTERS = (
     "exec.spill.batches",
     "exec.spill.rows",
     "exec.spill.bytes_written",
+    "concurrency.sessions",
+    "concurrency.read_waits",
+    "concurrency.write_waits",
+    "concurrency.snapshot_pins",
+    "concurrency.pinned_statements",
+    "concurrency.locked_statements",
 )
 
 

@@ -1,0 +1,309 @@
+"""Embedded SQL server: one session per connection, JSON lines over TCP.
+
+``repro serve <dir>`` hosts a durable database on a local socket. The
+protocol is deliberately tiny — one JSON object per line in each
+direction — because the point of this layer is the *session semantics*
+(snapshot reads, owned transactions, graceful drain), not wire-format
+engineering:
+
+    → {"sql": "SELECT a FROM t"}
+    ← {"ok": true, "columns": ["a"], "rows": [[1], [2]], "rowcount": 2}
+    → {"sql": "INSERT INTO t VALUES (3)"}
+    ← {"ok": true, "columns": ["rows_affected"], "rows": [[1]], "rowcount": 1}
+    → {"sql": "SELEC"}
+    ← {"ok": false, "error": "...", "kind": "SqlSyntaxError"}
+
+Values that JSON cannot carry natively (dates, decimals) are rendered
+with ``str``. Each connection owns one :class:`Session`, so BEGIN /
+COMMIT / ROLLBACK have per-connection semantics and a dropped
+connection rolls its open transaction back.
+
+Shutdown is graceful: the listener closes immediately, idle
+connections are disconnected, and connections mid-statement finish and
+send their response before closing (drain, bounded by a timeout).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any
+
+from ..errors import ConcurrencyError, ReproError
+from .. import __version__ as _version
+from ..concurrency import ConcurrentDatabase
+
+DEFAULT_HOST = "127.0.0.1"
+SHUTDOWN_DRAIN_SECONDS = 30.0
+
+
+def _encode(payload: dict[str, Any]) -> bytes:
+    return (json.dumps(payload, default=str) + "\n").encode("utf-8")
+
+
+def _result_payload(result) -> dict[str, Any]:
+    if result is None:  # DDL / txn control
+        return {"ok": True, "columns": None, "rows": None, "rowcount": 0}
+    rows = [list(row) for row in result.rows]
+    return {
+        "ok": True,
+        "columns": list(result.columns),
+        "rows": rows,
+        "rowcount": len(rows),
+    }
+
+
+class _Connection:
+    """One client connection: a socket, a session, a handler thread."""
+
+    def __init__(self, server: "ReproServer", sock: socket.socket, session) -> None:
+        self.server = server
+        self.sock = sock
+        self.session = session
+        self.busy = threading.Event()  # set while a statement executes
+        self.thread: threading.Thread | None = None
+
+    def serve(self) -> None:
+        reader = self.sock.makefile("rb")
+        try:
+            for raw in reader:
+                line = raw.strip()
+                if not line:
+                    continue
+                response = self._handle_line(line)
+                try:
+                    self.sock.sendall(_encode(response))
+                except OSError:
+                    break  # client went away mid-response
+                if self.server.stopping:
+                    break
+        except OSError:
+            pass  # connection reset / closed under us — normal teardown
+        finally:
+            self.busy.clear()
+            try:
+                reader.close()
+            except OSError:
+                pass
+            self.close()
+            self.server._forget(self)
+
+    def _handle_line(self, line: bytes) -> dict[str, Any]:
+        try:
+            request = json.loads(line)
+            sql = request["sql"]
+        except (ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}", "kind": "Protocol"}
+        self.busy.set()
+        try:
+            return _result_payload(self.session.sql(sql))
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+        except Exception as exc:  # engine bug — report, keep serving
+            return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+        finally:
+            self.busy.clear()
+
+    def close(self) -> None:
+        try:
+            self.session.close()
+        finally:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+
+class ReproServer:
+    """Serve a :class:`ConcurrentDatabase` on a local TCP socket."""
+
+    def __init__(
+        self,
+        cdb: ConcurrentDatabase,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+    ) -> None:
+        self.cdb = cdb
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.stopping = False
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> int:
+        """Bind and start accepting; returns the bound port."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen()
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.port
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self.stopping:
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed: shutdown
+            try:
+                session = self.cdb.session()
+            except ConcurrencyError:
+                sock.close()  # database closing underneath us
+                break
+            connection = _Connection(self, sock, session)
+            with self._conn_lock:
+                if self.stopping:
+                    connection.close()
+                    continue
+                self._connections.add(connection)
+            thread = threading.Thread(
+                target=connection.serve,
+                name=f"repro-server-{session.name}",
+                daemon=True,
+            )
+            connection.thread = thread
+            thread.start()
+
+    def _forget(self, connection: _Connection) -> None:
+        with self._conn_lock:
+            self._connections.discard(connection)
+
+    @property
+    def connection_count(self) -> int:
+        with self._conn_lock:
+            return len(self._connections)
+
+    def shutdown(self, drain_seconds: float = SHUTDOWN_DRAIN_SECONDS) -> None:
+        """Stop accepting, drain in-flight statements, close everything.
+
+        Idle connections are disconnected immediately; a connection in
+        the middle of a statement gets to finish it and send the
+        response. Safe to call twice.
+        """
+        if self.stopping:
+            return
+        self.stopping = True
+        if self._listener is not None:
+            # shutdown() before close(): on Linux, close() alone does
+            # not wake a thread blocked in accept().
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            if not connection.busy.is_set():
+                # Not executing: unblock its readline so the handler
+                # exits. A statement that starts between the check and
+                # the shutdown still completes — sendall fails only
+                # after the response attempt, and the session rollback
+                # in close() keeps the engine consistent either way.
+                try:
+                    connection.sock.shutdown(socket.SHUT_RD)
+                except OSError:
+                    pass
+        deadline = drain_seconds
+        for connection in connections:
+            thread = connection.thread
+            if thread is None:
+                continue
+            step = min(0.1, max(deadline, 0.0)) or 0.1
+            while thread.is_alive() and deadline > 0:
+                thread.join(timeout=step)
+                deadline -= step
+            if thread.is_alive():
+                # Drain budget exhausted: sever the socket; the handler
+                # dies on its next I/O and the session rolls back.
+                try:
+                    connection.sock.close()
+                except OSError:
+                    pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def serve(path: str, host: str = DEFAULT_HOST, port: int = 0, **open_kwargs: Any):
+    """Open the database at ``path`` and serve it until interrupted.
+
+    The CLI entry point (``repro serve <dir>``). Blocks; Ctrl-C drains
+    and closes. Returns the exit code.
+    """
+    cdb = ConcurrentDatabase.open(path, **open_kwargs)
+    server = ReproServer(cdb, host=host, port=port)
+    bound = server.start()
+    print(f"repro {_version} serving {path!r} on {host}:{bound} (Ctrl-C to stop)")
+    try:
+        while True:
+            threading.Event().wait(3600)
+    except KeyboardInterrupt:
+        print("shutting down: draining in-flight statements ...")
+    finally:
+        server.shutdown()
+        cdb.close()
+    return 0
+
+
+class ServerClient:
+    """Tiny test/tooling client for the JSON-lines protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def request(self, sql: str) -> dict[str, Any]:
+        """Send one statement; return the raw response payload."""
+        self._sock.sendall(_encode({"sql": sql}))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def sql(self, sql: str) -> dict[str, Any]:
+        """Send one statement; raise on an error response."""
+        response = self.request(sql)
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"{response.get('kind', 'Error')}: {response.get('error')}"
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -37,7 +37,16 @@ def run_statement(db, sql: str, **options: Any):
     Queries return a Result; DML returns a Result with a single
     ``rows_affected`` value; DDL returns None.
     """
-    statement = parse_statement(sql)
+    return run_parsed(db, parse_statement(sql), **options)
+
+
+def run_parsed(db, statement: Any, **options: Any):
+    """Execute an already-parsed statement against ``db``.
+
+    The concurrency layer parses first (outside any lock) to classify
+    the statement as read/write/txn-control, then dispatches here —
+    splitting parse from dispatch avoids parsing twice.
+    """
     if isinstance(statement, A.SelectStatement):
         plan = Binder(db.catalog).bind_select(statement)
         return db.execute(plan, **options)

@@ -13,6 +13,7 @@ benchmarks measure decompression cost on purpose.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -58,6 +59,11 @@ class SegmentCache:
         self._used_bytes = 0
         # Keep decoded segments' owners alive so id() keys stay unique.
         self._pins: dict[int, ColumnSegment] = {}
+        # Concurrent snapshot readers share one cache; the LRU OrderedDict
+        # is not safe to mutate from two scan threads at once. Decoding
+        # a miss happens outside the lock (it is the expensive part and
+        # touches only the immutable segment).
+        self._lock = threading.Lock()
 
     @property
     def used_bytes(self) -> int:
@@ -69,24 +75,30 @@ class SegmentCache:
     def decode(self, segment: ColumnSegment) -> tuple[np.ndarray, np.ndarray | None]:
         """Decoded (values, null_mask) for a segment, cached."""
         key = id(segment)
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            metrics.increment("storage.cache.hits")
-            return entry[0], entry[1]
-        self.stats.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                metrics.increment("storage.cache.hits")
+                return entry[0], entry[1]
+            self.stats.misses += 1
         metrics.increment("storage.cache.misses")
         values, null_mask = segment.decode()
         size = _decoded_bytes(values, null_mask)
         if size <= self.capacity_bytes:
-            self._entries[key] = (values, null_mask, size)
-            self._pins[key] = segment
-            self._used_bytes += size
-            self._evict()
+            with self._lock:
+                if key not in self._entries:
+                    # Two threads may decode the same miss concurrently;
+                    # only the first insert is accounted, the loser just
+                    # returns its (identical) decode.
+                    self._entries[key] = (values, null_mask, size)
+                    self._pins[key] = segment
+                    self._used_bytes += size
+                    self._evict_locked()
         return values, null_mask
 
-    def _evict(self) -> None:
+    def _evict_locked(self) -> None:
         while self._used_bytes > self.capacity_bytes and self._entries:
             key, (_values, _mask, size) = self._entries.popitem(last=False)
             self._pins.pop(key, None)
@@ -95,6 +107,7 @@ class SegmentCache:
             metrics.increment("storage.cache.evictions")
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._pins.clear()
-        self._used_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._pins.clear()
+            self._used_bytes = 0

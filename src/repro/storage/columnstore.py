@@ -24,7 +24,7 @@ from ..observability import registry as metrics
 from ..schema import TableSchema
 from .config import StoreConfig
 from .delete_bitmap import DeleteBitmap
-from .deltastore import DeltaStore
+from .deltastore import DeltaStore, FrozenDeltaView
 from .directory import SegmentDirectory
 from .loader import BulkLoader, rows_to_columns
 from .rowgroup import RowGroup
@@ -53,7 +53,7 @@ class ScanUnit:
     kind: str
     group: RowGroup | None = None
     deleted_mask: np.ndarray | None = None
-    delta: DeltaStore | None = None
+    delta: DeltaStore | FrozenDeltaView | None = None
 
     @property
     def container_id(self) -> int:
@@ -266,6 +266,43 @@ class ColumnStoreIndex:
             delta = self._delta_stores[delta_id]
             if delta.row_count:
                 yield ScanUnit(kind=DELTA, delta=delta)
+
+    def pin_scan_units(self) -> list[ScanUnit]:
+        """A snapshot-stable capture of :meth:`scan_units`.
+
+        The concurrency layer calls this at statement start (while
+        holding the read side of the database's session lock, so no
+        writer is mutating) and then scans the returned units with **no
+        lock held**. Everything reachable from the result is stable
+        under concurrent DML and maintenance:
+
+        * compressed row groups are immutable objects — the tuple mover,
+          REBUILD and archival all swap *new* group objects into the
+          directory, and the pinned references keep the old ones alive;
+        * deleted-row masks are materialized here, so later delete-bitmap
+          marks never show through mid-scan (the bitmap's ``version`` at
+          pin time is recorded for assertions);
+        * delta stores are frozen into columnar copies
+          (:meth:`DeltaStore.freeze`) — the live B-trees keep absorbing
+          trickle inserts without tearing the pinned view.
+        """
+        units: list[ScanUnit] = []
+        for group in self.directory.row_groups():
+            units.append(
+                ScanUnit(
+                    kind=GROUP,
+                    group=group,
+                    deleted_mask=self.delete_bitmap.mask_for(
+                        group.group_id, group.row_count
+                    ),
+                )
+            )
+        for delta_id in sorted(self._delta_stores):
+            delta = self._delta_stores[delta_id]
+            if delta.row_count:
+                units.append(ScanUnit(kind=DELTA, delta=delta.freeze()))
+        metrics.increment("concurrency.snapshot_pins")
+        return units
 
     def delta_stores(self) -> list[DeltaStore]:
         return [self._delta_stores[k] for k in sorted(self._delta_stores)]

@@ -25,6 +25,16 @@ class DeleteBitmap:
 
     def __init__(self) -> None:
         self._deleted: dict[int, set[int]] = {}
+        # Monotonic mutation counter. Snapshot reads pin a bitmap version
+        # at statement start (masks are materialized then) and concurrent
+        # DML bumps this, so a pinned scan can tell — and tests can
+        # assert — that its masks predate any concurrent mutation.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic version, bumped by every mark/unmark/forget."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Marking
@@ -35,6 +45,7 @@ class DeleteBitmap:
         if position in positions:
             return False
         positions.add(position)
+        self._version += 1
         return True
 
     def unmark(self, group_id: int, position: int) -> bool:
@@ -49,6 +60,7 @@ class DeleteBitmap:
         positions.discard(position)
         if not positions:
             del self._deleted[group_id]
+        self._version += 1
         return True
 
     def mark_many(self, group_id: int, positions: Iterator[int] | list[int]) -> int:
@@ -56,7 +68,12 @@ class DeleteBitmap:
         existing = self._deleted.setdefault(group_id, set())
         before = len(existing)
         existing.update(int(p) for p in positions)
-        return len(existing) - before
+        added = len(existing) - before
+        if added:
+            self._version += 1
+        elif not existing:
+            del self._deleted[group_id]
+        return added
 
     def is_deleted(self, group_id: int, position: int) -> bool:
         positions = self._deleted.get(group_id)
@@ -87,7 +104,8 @@ class DeleteBitmap:
     # ------------------------------------------------------------------ #
     def forget_group(self, group_id: int) -> None:
         """Drop all marks for a row group (after rebuild/removal)."""
-        self._deleted.pop(group_id, None)
+        if self._deleted.pop(group_id, None) is not None:
+            self._version += 1
 
     def groups_with_deletes(self) -> list[int]:
         return sorted(gid for gid, positions in self._deleted.items() if positions)

@@ -127,6 +127,17 @@ class DeltaStore:
             null_masks[col.name] = mask if has_nulls else None
         return columns, null_masks, row_ids
 
+    def freeze(self) -> "FrozenDeltaView":
+        """An immutable columnar capture of this delta store's rows.
+
+        Snapshot reads pin one of these at statement start: the B-tree
+        keeps mutating under concurrent DML, but a frozen view's arrays
+        are fresh copies, so a scan against it can run without holding
+        any lock (see :meth:`ColumnStoreIndex.pin_scan_units`).
+        """
+        columns, null_masks, row_ids = self.to_columns()
+        return FrozenDeltaView(self.delta_id, columns, null_masks, row_ids)
+
     @property
     def size_bytes(self) -> int:
         """Uncompressed accounting size (rows are stored as Python tuples)."""
@@ -141,3 +152,49 @@ class DeltaStore:
                     total += col.dtype.fixed_width_bytes
             total += 16  # per-row B-tree overhead
         return total
+
+
+class FrozenDeltaView:
+    """A point-in-time columnar copy of one delta store.
+
+    Duck-compatible with the slice of :class:`DeltaStore` the scan path
+    uses (``delta_id`` / ``row_count`` / ``to_columns`` / ``scan``), but
+    backed by arrays materialized at :meth:`DeltaStore.freeze` time —
+    concurrent inserts and deletes against the live store never show
+    through. Read-only by construction: it has no mutating methods.
+    """
+
+    __slots__ = ("delta_id", "_columns", "_null_masks", "_row_ids")
+
+    def __init__(
+        self,
+        delta_id: int,
+        columns: dict[str, np.ndarray],
+        null_masks: dict[str, np.ndarray | None],
+        row_ids: list[int],
+    ) -> None:
+        self.delta_id = delta_id
+        self._columns = columns
+        self._null_masks = null_masks
+        self._row_ids = row_ids
+
+    @property
+    def row_count(self) -> int:
+        return len(self._row_ids)
+
+    def to_columns(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray | None], list[int]]:
+        return self._columns, self._null_masks, self._row_ids
+
+    def scan(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """(row_id, row) pairs reconstructed from the frozen columns."""
+        names = list(self._columns)
+        for position, row_id in enumerate(self._row_ids):
+            row = []
+            for name in names:
+                mask = self._null_masks[name]
+                if mask is not None and mask[position]:
+                    row.append(None)
+                else:
+                    value = self._columns[name][position]
+                    row.append(value.item() if hasattr(value, "item") else value)
+            yield row_id, tuple(row)

@@ -5,6 +5,15 @@ and benchmarks drive it explicitly, and the database facade exposes it as a
 maintenance call). Each closed delta store is materialized column-wise,
 compressed through the bulk loader, and dropped — after which its rows are
 served from the new compressed row group.
+
+Under the concurrency layer (DESIGN.md "Concurrency") a tuple-mover run
+takes the exclusive side of the database lock, like any writer: no
+reader is mid-pin and no DML is mid-statement while it reorganizes. A
+reader that pinned *before* the run is unaffected — the mover never
+mutates a delta store or row group in place, it builds new row groups
+and swaps the directory, so a pinned snapshot (frozen delta copies +
+the old group list) keeps serving the same rows the statement started
+with.
 """
 
 from __future__ import annotations

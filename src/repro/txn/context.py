@@ -36,13 +36,20 @@ class TxnContext:
     record when a WAL is attached) for explicit transactions.
     """
 
-    __slots__ = ("txn_id", "_undo", "statements", "rolled_back")
+    __slots__ = ("txn_id", "_undo", "statements", "rolled_back", "owner")
 
-    def __init__(self, txn_id: int = AUTO_COMMIT_TXN) -> None:
+    def __init__(self, txn_id: int = AUTO_COMMIT_TXN, owner: str | None = None) -> None:
         self.txn_id = txn_id
         self._undo: list[tuple[str, Callable[[], None]]] = []
         self.statements = 0  # completed statements (for status/tests)
         self.rolled_back = False
+        # The session that opened this transaction (None for direct,
+        # single-caller Database use). The concurrency layer serializes
+        # writers, so at most one explicit transaction exists at a time —
+        # but it belongs to *one* session, and the owner tag is how
+        # Database.commit/rollback reject another session's attempt to
+        # end it (see db.database.Database.begin).
+        self.owner = owner
 
     @property
     def explicit(self) -> bool:

@@ -1,0 +1,165 @@
+"""Exchange lifecycle under early abandonment and worker errors.
+
+The bugs these tests pin down (PR 5): a consumer that stops pulling —
+LIMIT reaching its quota, an error downstream, a test breaking out of
+the loop — used to leave exchange workers blocked forever on a full
+queue; and a worker error used to surface only after every sibling
+drained completely. Both are lifecycle properties, so the assertions
+here are about *threads*, not rows.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError
+from repro.exec.batch import Batch, slice_into_batches
+from repro.exec.operators.base import BatchOperator
+from repro.exec.operators.exchange import BatchExchange
+
+
+def exchange_threads():
+    return [t for t in threading.enumerate() if t.name.startswith("repro-exchange")]
+
+
+def assert_no_leaked_threads(deadline_seconds=5.0):
+    """All exchange worker threads must exit (reaped, not abandoned)."""
+    deadline = time.monotonic() + deadline_seconds
+    while exchange_threads() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert exchange_threads() == []
+
+
+class ListSource(BatchOperator):
+    def __init__(self, data, batch_size=8):
+        self._batch = Batch.from_pydict(data)
+        self._batch_size = batch_size
+
+    @property
+    def output_names(self):
+        return self._batch.names
+
+    def batches(self):
+        yield from slice_into_batches(self._batch, self._batch_size)
+
+
+class SlowSource(BatchOperator):
+    """Emits forever (until cancelled) with a small delay per batch."""
+
+    def __init__(self, delay=0.002):
+        self.delay = delay
+
+    @property
+    def output_names(self):
+        return ["a"]
+
+    def batches(self):
+        i = 0
+        while True:
+            time.sleep(self.delay)
+            yield Batch.from_pydict({"a": [i]})
+            i += 1
+
+
+class FailsAfter(BatchOperator):
+    def __init__(self, n_batches, message="worker failed"):
+        self.n_batches = n_batches
+        self.message = message
+
+    @property
+    def output_names(self):
+        return ["a"]
+
+    def batches(self):
+        for i in range(self.n_batches):
+            yield Batch.from_pydict({"a": [i]})
+        raise ExecutionError(self.message)
+
+
+class TestEarlyAbandonment:
+    def test_consumer_break_reaps_workers(self):
+        # Unbounded producers: without cancellation the workers would
+        # fill the queue and block in put() forever.
+        exchange = BatchExchange([SlowSource() for _ in range(4)])
+        for i, _batch in enumerate(exchange.batches()):
+            if i >= 3:
+                break
+        assert_no_leaked_threads()
+
+    def test_generator_close_reaps_workers(self):
+        exchange = BatchExchange([SlowSource() for _ in range(2)])
+        gen = exchange.batches()
+        next(gen)
+        gen.close()  # explicit close, not GC
+        assert_no_leaked_threads()
+
+    def test_limit_query_reaps_workers(self):
+        # End to end: LIMIT abandons the scan mid-stream in a dop>1 plan.
+        db = Database()
+        db.sql("CREATE TABLE t (a INT NOT NULL)")
+        db.insert("t", [(i,) for i in range(50_000)])
+        result = db.sql("SELECT a FROM t LIMIT 5", mode="batch", dop=4)
+        assert len(result.rows) == 5
+        assert_no_leaked_threads()
+
+    def test_abandoned_iterator_gc_reaps_workers(self):
+        exchange = BatchExchange([SlowSource() for _ in range(2)])
+        gen = exchange.batches()
+        next(gen)
+        del gen  # GC closes the generator, which must cancel workers
+        assert_no_leaked_threads()
+
+    def test_normal_completion_drains_everything(self):
+        children = [ListSource({"a": list(range(i * 10, i * 10 + 10))}) for i in range(4)]
+        exchange = BatchExchange(children)
+        rows = sorted(r[0] for b in exchange.batches() for r in b.to_rows())
+        assert rows == list(range(40))
+        assert_no_leaked_threads()
+
+
+class TestErrorPropagation:
+    def test_error_raises_promptly_not_after_siblings_drain(self):
+        # The sibling produces forever: the only way this test finishes
+        # is the error cancelling it. Before the fix, batches() joined
+        # all workers before looking at the error list.
+        exchange = BatchExchange([FailsAfter(2), SlowSource()])
+        start = time.monotonic()
+        with pytest.raises(ExecutionError, match="worker failed"):
+            list(exchange.batches())
+        assert time.monotonic() - start < 5.0
+        assert_no_leaked_threads()
+
+    def test_first_error_wins(self):
+        # One worker fails immediately, another much later: the early
+        # error must be the one raised (first-error, not last-error).
+        exchange = BatchExchange(
+            [FailsAfter(0, "early failure"), FailsAfter(200, "late failure")]
+        )
+        with pytest.raises(ExecutionError, match="early failure"):
+            list(exchange.batches())
+        assert_no_leaked_threads()
+
+    def test_traceback_preserved(self):
+        exchange = BatchExchange([FailsAfter(1, "original site"), ListSource({"a": [1]})])
+        try:
+            list(exchange.batches())
+        except ExecutionError as exc:
+            frames = []
+            tb = exc.__traceback__
+            while tb is not None:
+                frames.append(tb.tb_frame.f_code.co_name)
+                tb = tb.tb_next
+            # The worker's original raise site must be in the chain.
+            assert "batches" in frames
+        else:
+            pytest.fail("expected ExecutionError")
+        assert_no_leaked_threads()
+
+    def test_error_during_abandonment_does_not_hang(self):
+        exchange = BatchExchange([FailsAfter(50), SlowSource()])
+        gen = exchange.batches()
+        next(gen)
+        gen.close()
+        assert_no_leaked_threads()

@@ -1,0 +1,154 @@
+"""ReadWriteLock semantics: sharing, exclusion, preference, reentrancy."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import ReadWriteLock
+from repro.errors import ConcurrencyError
+
+
+def run_in_thread(fn):
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    return t
+
+
+class TestBasics:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        acquired = threading.Event()
+
+        def second_reader():
+            lock.acquire_read()
+            acquired.set()
+            lock.release_read()
+
+        run_in_thread(second_reader).join(timeout=2.0)
+        assert acquired.is_set()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        got_read = threading.Event()
+        t = run_in_thread(lambda: (lock.acquire_read(), got_read.set(), lock.release_read()))
+        time.sleep(0.05)
+        assert not got_read.is_set()
+        lock.release_write()
+        t.join(timeout=2.0)
+        assert got_read.is_set()
+
+    def test_reader_excludes_writer(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        got_write = threading.Event()
+        t = run_in_thread(lambda: (lock.acquire_write(), got_write.set(), lock.release_write()))
+        time.sleep(0.05)
+        assert not got_write.is_set()
+        lock.release_read()
+        t.join(timeout=2.0)
+        assert got_write.is_set()
+
+    def test_write_reentrant(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        lock.acquire_write()
+        lock.release_write()
+        assert lock.write_held_by_me
+        lock.release_write()
+        assert not lock.write_held_by_me
+
+    def test_context_managers(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            pass
+        with lock.write_locked():
+            assert lock.write_held_by_me
+
+
+class TestWriterPreference:
+    def test_new_readers_queue_behind_waiting_writer(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+
+        writer_done = threading.Event()
+        late_reader_done = threading.Event()
+        order = []
+
+        def writer():
+            lock.acquire_write()
+            order.append("writer")
+            lock.release_write()
+            writer_done.set()
+
+        wt = run_in_thread(writer)
+        time.sleep(0.05)  # writer is now waiting on our read hold
+
+        def late_reader():
+            lock.acquire_read()
+            order.append("reader")
+            lock.release_read()
+            late_reader_done.set()
+
+        rt = run_in_thread(late_reader)
+        time.sleep(0.05)
+        # The late reader must not have slipped past the waiting writer.
+        assert not late_reader_done.is_set()
+        lock.release_read()
+        wt.join(timeout=2.0)
+        rt.join(timeout=2.0)
+        assert order == ["writer", "reader"]
+
+
+class TestMisuse:
+    def test_read_while_holding_write_raises(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        with pytest.raises(ConcurrencyError, match="self-deadlock"):
+            lock.acquire_read()
+        lock.release_write()
+
+    def test_unmatched_read_release_raises(self):
+        with pytest.raises(ConcurrencyError):
+            ReadWriteLock().release_read()
+
+    def test_write_release_by_non_owner_raises(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        error = []
+
+        def other():
+            try:
+                lock.release_write()
+            except ConcurrencyError as exc:
+                error.append(exc)
+
+        run_in_thread(other).join(timeout=2.0)
+        assert error
+        lock.release_write()
+
+    def test_forced_release_from_other_thread(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        run_in_thread(lambda: lock.release_write(force=True)).join(timeout=2.0)
+        # Fully released: another writer can acquire immediately.
+        with lock.write_locked():
+            pass
+
+    def test_acquire_timeout_raises_instead_of_hanging(self):
+        lock = ReadWriteLock(timeout=0.1)
+        lock.acquire_write()
+        error = []
+
+        def blocked():
+            try:
+                lock.acquire_read()
+            except ConcurrencyError as exc:
+                error.append(exc)
+
+        run_in_thread(blocked).join(timeout=5.0)
+        assert error and "timed out" in str(error[0])
+        lock.release_write()

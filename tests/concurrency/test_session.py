@@ -1,0 +1,227 @@
+"""Session semantics: snapshot reads, owned transactions, lock hygiene."""
+
+import threading
+
+import pytest
+
+from repro import ConcurrentDatabase
+from repro.errors import ConcurrencyError, SqlSyntaxError, TxnError
+from repro.observability.registry import get_registry
+
+
+@pytest.fixture
+def cdb():
+    with ConcurrentDatabase() as cdb:
+        session = cdb.session("setup")
+        session.sql("CREATE TABLE t (a INT NOT NULL, b VARCHAR(10))")
+        session.sql("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+        session.close()
+        yield cdb
+
+
+class TestBasics:
+    def test_read_write_roundtrip(self, cdb):
+        with cdb.session() as s:
+            s.sql("INSERT INTO t VALUES (4, 'w')")
+            assert s.sql("SELECT COUNT(*) AS c FROM t").rows == [(4,)]
+
+    def test_session_names_unique(self, cdb):
+        s = cdb.session("dup")
+        with pytest.raises(ConcurrencyError, match="already in use"):
+            cdb.session("dup")
+        s.close()
+        cdb.session("dup").close()  # name reusable after close
+
+    def test_closed_session_rejects_statements(self, cdb):
+        s = cdb.session()
+        s.close()
+        with pytest.raises(ConcurrencyError, match="closed"):
+            s.sql("SELECT a FROM t")
+
+    def test_thread_local_sql_convenience(self, cdb):
+        assert cdb.sql("SELECT COUNT(*) AS c FROM t").rows == [(3,)]
+        results = []
+        t = threading.Thread(
+            target=lambda: results.append(cdb.sql("SELECT COUNT(*) AS c FROM t").rows)
+        )
+        t.start()
+        t.join()
+        assert results == [[(3,)]]
+
+    def test_select_is_pinned_not_locked(self, cdb):
+        registry = get_registry()
+        before = registry.counter("concurrency.pinned_statements")
+        with cdb.session() as s:
+            s.sql("SELECT a FROM t WHERE a > 1")
+        assert registry.counter("concurrency.pinned_statements") == before + 1
+
+    def test_rowstore_select_runs_under_lock(self, cdb):
+        with cdb.session() as s:
+            s.sql("CREATE TABLE r (a INT NOT NULL) USING rowstore")
+            s.sql("INSERT INTO r VALUES (1), (2)")
+            registry = get_registry()
+            before = registry.counter("concurrency.locked_statements")
+            assert s.sql("SELECT COUNT(*) AS c FROM r").rows == [(2,)]
+            assert registry.counter("concurrency.locked_statements") == before + 1
+
+
+class TestTransactions:
+    def test_txn_commit(self, cdb):
+        with cdb.session() as s:
+            s.sql("BEGIN")
+            assert s.in_transaction
+            s.sql("INSERT INTO t VALUES (4, 'w')")
+            s.sql("COMMIT")
+            assert not s.in_transaction
+            assert s.sql("SELECT COUNT(*) AS c FROM t").rows == [(4,)]
+
+    def test_txn_rollback(self, cdb):
+        with cdb.session() as s:
+            s.sql("BEGIN")
+            s.sql("DELETE FROM t WHERE a = 1")
+            s.sql("ROLLBACK")
+            assert s.sql("SELECT COUNT(*) AS c FROM t").rows == [(3,)]
+
+    def test_select_inside_txn_sees_own_writes(self, cdb):
+        with cdb.session() as s:
+            s.sql("BEGIN")
+            s.sql("INSERT INTO t VALUES (4, 'w')")
+            assert s.sql("SELECT COUNT(*) AS c FROM t").rows == [(4,)]
+            s.sql("ROLLBACK")
+
+    def test_other_session_cannot_end_my_txn(self, cdb):
+        a = cdb.session("a")
+        b = cdb.session("b")
+        a.sql("BEGIN")
+        a.sql("INSERT INTO t VALUES (4, 'w')")
+        with pytest.raises(TxnError, match="owned by"):
+            b.sql("COMMIT")
+        with pytest.raises(TxnError, match="owned by"):
+            b.sql("ROLLBACK")
+        a.sql("COMMIT")
+        a.close()
+        b.close()
+
+    def test_txn_serializes_other_sessions(self, cdb):
+        a = cdb.session("a")
+        a.sql("BEGIN")
+        a.sql("INSERT INTO t VALUES (4, 'w')")
+
+        order = []
+
+        def other_writer():
+            with cdb.session("b") as b:
+                b.sql("INSERT INTO t VALUES (5, 'v')")
+                order.append("b-done")
+
+        t = threading.Thread(target=other_writer)
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive()  # blocked behind a's txn
+        order.append("a-commits")
+        a.sql("COMMIT")
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert order == ["a-commits", "b-done"]
+        assert a.sql("SELECT COUNT(*) AS c FROM t").rows == [(5,)]
+        a.close()
+
+    def test_close_rolls_back_open_txn_and_releases_lock(self, cdb):
+        s = cdb.session("dier")
+        s.sql("BEGIN")
+        s.sql("DELETE FROM t")
+        s.close()
+        # Lock released and work undone: a fresh session writes freely.
+        with cdb.session() as fresh:
+            assert fresh.sql("SELECT COUNT(*) AS c FROM t").rows == [(3,)]
+            fresh.sql("INSERT INTO t VALUES (4, 'w')")
+
+    def test_nested_begin_raises_and_keeps_txn_usable(self, cdb):
+        with cdb.session() as s:
+            s.sql("BEGIN")
+            with pytest.raises(TxnError, match="already open"):
+                s.sql("BEGIN")
+            assert s.in_transaction
+            s.sql("INSERT INTO t VALUES (4, 'w')")
+            s.sql("COMMIT")
+        with cdb.session() as s2:
+            assert s2.sql("SELECT COUNT(*) AS c FROM t").rows == [(4,)]
+
+
+class TestLockHygiene:
+    """A statement that dies mid-flight must release every lock."""
+
+    def assert_unwedged(self, cdb):
+        done = threading.Event()
+
+        def writer():
+            with cdb.session() as w:
+                w.sql("INSERT INTO t VALUES (99, 'ok')")
+            done.set()
+
+        t = threading.Thread(target=writer, daemon=True)
+        t.start()
+        t.join(timeout=5.0)
+        assert done.is_set(), "write lock (or read lock) was leaked"
+
+    def test_parse_error_releases_locks(self, cdb):
+        with cdb.session() as s:
+            with pytest.raises(SqlSyntaxError):
+                s.sql("SELEC a FROM t")
+        self.assert_unwedged(cdb)
+
+    def test_bind_error_releases_read_lock(self, cdb):
+        with cdb.session() as s:
+            with pytest.raises(Exception):
+                s.sql("SELECT nope FROM t")
+            with pytest.raises(Exception):
+                s.sql("SELECT a FROM missing_table")
+        self.assert_unwedged(cdb)
+
+    def test_failed_write_releases_write_lock(self, cdb):
+        with cdb.session() as s:
+            with pytest.raises(Exception):
+                s.sql("INSERT INTO t VALUES (1)")  # arity mismatch
+        self.assert_unwedged(cdb)
+
+    def test_failed_statement_in_txn_keeps_txn_and_releases_depth(self, cdb):
+        with cdb.session() as s:
+            s.sql("BEGIN")
+            with pytest.raises(Exception):
+                s.sql("INSERT INTO t VALUES (1)")
+            assert s.in_transaction
+            s.sql("ROLLBACK")
+        self.assert_unwedged(cdb)
+
+    def test_commit_without_begin_raises_without_wedging(self, cdb):
+        with cdb.session() as s:
+            with pytest.raises(TxnError):
+                s.sql("COMMIT")
+            with pytest.raises(TxnError):
+                s.sql("ROLLBACK")
+        self.assert_unwedged(cdb)
+
+
+class TestMaintenance:
+    def test_maintenance_takes_write_side(self, cdb):
+        with cdb.session() as s:
+            s.sql("INSERT INTO t VALUES (4, 'w')")
+        report = cdb.run_tuple_mover("t", include_open=True)
+        assert report.rows_moved >= 1
+        cdb.rebuild("t")
+        with cdb.session() as s:
+            assert s.sql("SELECT COUNT(*) AS c FROM t").rows == [(4,)]
+
+    def test_maintenance_blocked_by_open_txn(self, cdb):
+        a = cdb.session("a")
+        a.sql("BEGIN")
+        t = threading.Thread(
+            target=lambda: cdb.run_tuple_mover("t", include_open=True), daemon=True
+        )
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive()  # waiting on the txn's write lock
+        a.sql("COMMIT")
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        a.close()
