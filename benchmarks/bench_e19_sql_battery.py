@@ -1,0 +1,102 @@
+"""E19 — SQL battery throughput: batch vs row engine over the full surface.
+
+The differential battery in ``tests/sql_battery`` is primarily a
+correctness net: every statement (filters, aggregates, joins, subqueries,
+CTEs, windows, TPC-H-derived queries) must agree between the batch and
+row engines and, where expressible, with sqlite3. This experiment reuses
+the same statement corpus as a *workload* and asks the performance
+question: how much does vectorized execution buy across a broad SQL
+surface, feature family by feature family?
+
+Expected shape: at this corpus's deliberately tiny scale (hundreds of
+rows, so the sqlite oracle stays cheap) per-statement fixed costs
+dominate and the row engine is competitive or ahead — the batch engine's
+advantage only appears once tables span many vectors (see E3/E4 for
+that crossover). What this experiment pins down is the *relative* cost
+of each feature family and that neither engine collapses on any of them.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from conftest import save_report
+from repro.bench.harness import ReportTable
+from repro.bench.tpch_tiny import build_tpch_tiny
+from tests.sql_battery.battery_lib import load_statements
+
+
+@pytest.fixture(scope="module")
+def battery_db():
+    return build_tpch_tiny(storage="columnstore", seed=7)
+
+
+def run_battery(db, mode: str) -> dict[str, dict]:
+    """Run every battery statement in one mode; aggregate times per family."""
+    families: dict[str, dict] = defaultdict(lambda: {"n": 0, "seconds": 0.0, "rows": 0})
+    for stmt in load_statements():
+        family = stmt.source.split(":")[0]
+        start = time.perf_counter()
+        result = db.sql(stmt.sql, mode=mode)
+        elapsed = time.perf_counter() - start
+        bucket = families[family]
+        bucket["n"] += 1
+        bucket["seconds"] += elapsed
+        bucket["rows"] += len(result.rows)
+    return dict(families)
+
+
+def test_e19_sql_battery(benchmark, report_dir, battery_db):
+    def run():
+        return run_battery(battery_db, "batch"), run_battery(battery_db, "row")
+
+    batch, row = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report = ReportTable(
+        "E19: SQL battery, batch vs row engine (statements by feature family)",
+        ["family", "stmts", "batch stmt/s", "row stmt/s", "batch speedup"],
+    )
+    total_n = 0
+    total_batch = 0.0
+    total_row = 0.0
+    for family in sorted(batch):
+        b, r = batch[family], row[family]
+        assert b["n"] == r["n"]
+        assert b["rows"] == r["rows"], f"engines returned different row counts for {family}"
+        report.add_row(
+            family,
+            b["n"],
+            f"{b['n'] / b['seconds']:,.0f}",
+            f"{r['n'] / r['seconds']:,.0f}",
+            f"{r['seconds'] / b['seconds']:.2f}x",
+        )
+        total_n += b["n"]
+        total_batch += b["seconds"]
+        total_row += r["seconds"]
+    report.add_row(
+        "TOTAL",
+        total_n,
+        f"{total_n / total_batch:,.0f}",
+        f"{total_n / total_row:,.0f}",
+        f"{total_row / total_batch:.2f}x",
+    )
+    report.add_note(
+        "same corpus as tests/sql_battery (plan-shape, engine-agreement, "
+        "and sqlite3-oracle checked there)"
+    )
+    save_report(report_dir, "e19_sql_battery.txt", report.render())
+
+    # The battery floor the CI job also enforces: the workload stays broad.
+    assert total_n >= 200
+    families = set(batch)
+    for expected in ("subqueries", "ctes", "windows", "tpch"):
+        assert expected in families, f"battery lost its {expected} family"

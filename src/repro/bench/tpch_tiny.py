@@ -1,0 +1,193 @@
+"""A tiny, deterministic TPC-H-derived dataset for the SQL battery.
+
+Three core tables — ``customer`` (30 rows), ``orders`` (150 rows),
+``lineitem`` (600 rows) — shaped like the TPC-H subset the battery's
+adapted queries need, plus ``bucket``, a small nullable-heavy table for
+three-valued-logic statements. Every value is derived from a seeded
+generator, so the battery and the sqlite oracle both load byte-identical
+data on every run.
+
+Deliberate data properties the battery leans on:
+
+* Valid foreign keys throughout (``o_custkey`` -> ``customer``,
+  ``l_orderkey`` -> ``orders``), but a fixed fifth of customers place no
+  orders — exercising anti joins and TPC-H Q13's zero-order count bucket.
+* Order comments mix NULLs with strings, some matching
+  ``%special%requests%`` so Q13's NOT LIKE filter removes real rows.
+* Dates span 1995-01-01 .. 1998-08-02 (the classic TPC-H window), and a
+  slice of lineitems have ``l_commitdate < l_receiptdate`` for Q4/Q12.
+* ``bucket`` has NULLs in both its group key and value columns so IN /
+  NOT IN / EXISTS statements hit every 3VL corner.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .. import types
+from ..db.database import Database
+from ..schema import schema
+from ..storage.config import StoreConfig
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIPMODES = ["AIR", "MAIL", "SHIP", "TRUCK", "RAIL", "REG AIR", "FOB"]
+_STATUSES = ["O", "F", "P"]
+_FLAGS = ["A", "N", "R"]
+
+N_CUSTOMERS = 30
+N_ORDERS = 150
+N_LINEITEMS = 600
+N_BUCKET = 40
+
+_EPOCH_1995 = types.DATE.coerce("1995-01-01")
+_N_DAYS = 1310  # through 1998-08-02
+
+CUSTOMER_SCHEMA = schema(
+    ("c_custkey", types.INT, False),
+    ("c_name", types.VARCHAR, False),
+    ("c_nationkey", types.INT, False),
+    ("c_phone", types.VARCHAR, False),
+    ("c_acctbal", types.decimal(2), False),
+    ("c_mktsegment", types.VARCHAR, False),
+    ("c_comment", types.VARCHAR, True),
+)
+
+ORDERS_SCHEMA = schema(
+    ("o_orderkey", types.INT, False),
+    ("o_custkey", types.INT, False),
+    ("o_orderstatus", types.VARCHAR, False),
+    ("o_totalprice", types.decimal(2), False),
+    ("o_orderdate", types.DATE, False),
+    ("o_orderpriority", types.VARCHAR, False),
+    ("o_comment", types.VARCHAR, True),
+)
+
+LINEITEM_SCHEMA = schema(
+    ("l_orderkey", types.INT, False),
+    ("l_linenumber", types.INT, False),
+    ("l_quantity", types.INT, False),
+    ("l_extendedprice", types.decimal(2), False),
+    ("l_discount", types.decimal(2), False),
+    ("l_tax", types.decimal(2), True),
+    ("l_returnflag", types.VARCHAR, False),
+    ("l_linestatus", types.VARCHAR, False),
+    ("l_shipdate", types.DATE, False),
+    ("l_commitdate", types.DATE, False),
+    ("l_receiptdate", types.DATE, False),
+    ("l_shipmode", types.VARCHAR, False),
+)
+
+BUCKET_SCHEMA = schema(
+    ("id", types.INT, False),
+    ("grp", types.VARCHAR, True),
+    ("v", types.INT, True),
+)
+
+SCHEMAS = {
+    "customer": CUSTOMER_SCHEMA,
+    "orders": ORDERS_SCHEMA,
+    "lineitem": LINEITEM_SCHEMA,
+    "bucket": BUCKET_SCHEMA,
+}
+
+
+def _iso(day: int) -> str:
+    return str(types.DATE.present(_EPOCH_1995 + day))
+
+
+def generate_tpch_tiny(seed: int = 7) -> dict[str, list[tuple]]:
+    """All four tables' rows in *user* form (ISO dates, float decimals)."""
+    rng = random.Random(seed)
+
+    customers = []
+    for key in range(1, N_CUSTOMERS + 1):
+        customers.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                rng.randrange(0, 5),
+                f"{10 + key % 25}-{rng.randrange(100, 999)}-{rng.randrange(1000, 9999)}",
+                round(rng.uniform(-900.0, 9900.0), 2),
+                _SEGMENTS[key % len(_SEGMENTS)],
+                None if key % 7 == 0 else f"comment for customer {key}",
+            )
+        )
+
+    # A fixed fifth of customers never order: Q13's zero bucket, anti joins.
+    silent = {key for key in range(1, N_CUSTOMERS + 1) if key % 5 == 0}
+    active = [key for key in range(1, N_CUSTOMERS + 1) if key not in silent]
+
+    orders = []
+    for key in range(1, N_ORDERS + 1):
+        if key % 11 == 0:
+            comment = None
+        elif key % 6 == 0:
+            comment = f"was told of special packages and requests {key}"
+        else:
+            comment = f"routine order note {key}"
+        orders.append(
+            (
+                key,
+                active[rng.randrange(len(active))],
+                _STATUSES[key % len(_STATUSES)],
+                round(rng.uniform(900.0, 35000.0), 2),
+                _iso(rng.randrange(0, _N_DAYS - 130)),
+                _PRIORITIES[key % len(_PRIORITIES)],
+                comment,
+            )
+        )
+    order_dates = {row[0]: row[4] for row in orders}
+
+    lineitems = []
+    for index in range(N_LINEITEMS):
+        orderkey = (index % N_ORDERS) + 1
+        linenumber = index // N_ORDERS + 1
+        order_day = (types.DATE.coerce(order_dates[orderkey]) - _EPOCH_1995)
+        ship_day = order_day + rng.randrange(1, 90)
+        commit_day = order_day + rng.randrange(10, 80)
+        receipt_day = ship_day + rng.randrange(1, 30)
+        price = round(rng.uniform(900.0, 95000.0), 2)
+        lineitems.append(
+            (
+                orderkey,
+                linenumber,
+                rng.randrange(1, 51),
+                price,
+                round(rng.uniform(0.0, 0.1), 2),
+                None if index % 13 == 0 else round(rng.uniform(0.0, 0.08), 2),
+                _FLAGS[index % len(_FLAGS)],
+                "O" if index % 2 else "F",
+                _iso(ship_day),
+                _iso(commit_day),
+                _iso(receipt_day),
+                _SHIPMODES[index % len(_SHIPMODES)],
+            )
+        )
+
+    buckets = []
+    for key in range(1, N_BUCKET + 1):
+        grp = None if key % 9 == 0 else f"g{key % 4}"
+        value = None if key % 5 == 0 else rng.randrange(-10, 30)
+        buckets.append((key, grp, value))
+
+    return {
+        "customer": customers,
+        "orders": orders,
+        "lineitem": lineitems,
+        "bucket": buckets,
+    }
+
+
+def build_tpch_tiny(
+    storage: str = "columnstore",
+    seed: int = 7,
+    config: StoreConfig | None = None,
+) -> Database:
+    """Create a Database loaded with the tiny TPC-H-derived dataset."""
+    db = Database(config or StoreConfig())
+    data = generate_tpch_tiny(seed)
+    for name, table_schema in SCHEMAS.items():
+        db.create_table(name, table_schema, storage=storage)
+        db.bulk_load(name, data[name])
+    return db

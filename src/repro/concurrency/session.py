@@ -41,7 +41,7 @@ from ..errors import ConcurrencyError
 from ..exec.operators.scan import ColumnStoreScan
 from ..observability import registry as metrics
 from ..sql import ast as A
-from ..sql.binder import Binder
+from ..sql.runner import make_binder
 from ..sql.parser import parse_statement
 from .rwlock import ReadWriteLock
 
@@ -173,7 +173,7 @@ class Session:
                 metrics.increment("concurrency.locked_statements")
                 return run_parsed(self._db, statement, **options)
             stats = bool(options.pop("stats", False))
-            plan = Binder(self._db.catalog).bind_select(statement)
+            plan = make_binder(self._db).bind_select(statement)
             physical, dtypes = self._db._prepare(plan, **options)
             if not pin_plan(physical):
                 metrics.increment("concurrency.locked_statements")

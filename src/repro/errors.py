@@ -121,13 +121,29 @@ class BindingError(PlanningError):
 
 
 class SqlSyntaxError(ReproError):
-    """The SQL text could not be tokenized or parsed."""
+    """The SQL text could not be tokenized or parsed.
 
-    def __init__(self, message: str, position: int | None = None) -> None:
-        if position is not None:
+    ``position`` is the character offset into the statement text;
+    ``line`` / ``column`` (both 1-based) are filled in when the parser
+    has the source text at hand, and take over the message suffix so
+    errors point at the offending token in multi-line statements.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        line: int | None = None,
+        column: int | None = None,
+    ) -> None:
+        if line is not None and column is not None:
+            message = f"{message} (line {line}, column {column})"
+        elif position is not None:
             message = f"{message} (at offset {position})"
         super().__init__(message)
         self.position = position
+        self.line = line
+        self.column = column
 
 
 class ExecutionError(ReproError):

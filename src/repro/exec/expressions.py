@@ -105,6 +105,11 @@ class Literal(Expr):
             arr = np.empty(n, dtype=object)
             arr[:] = [self.value] * n
             return arr, None
+        if isinstance(self.value, float) and np.issubdtype(np_dtype, np.integer):
+            # A fractional physical value in an integer-backed type (an AVG
+            # over decimals embedded as a scalar-subquery literal): keep the
+            # float, truncating would silently change the result.
+            np_dtype = np.float64
         return np.full(n, self.value, dtype=np_dtype), None
 
     def eval_row(self, row: dict[str, Any]) -> Any:
@@ -448,11 +453,21 @@ class Between(Expr):
 
 
 class InList(Expr):
-    """value IN (c1, c2, ...) over constant lists."""
+    """value IN (c1, c2, ...) over constant lists, with SQL 3VL.
 
-    def __init__(self, operand: Expr, values: Sequence[Any]) -> None:
+    ``values`` must not contain None — the binder strips NULL entries and
+    passes ``has_null=True`` instead. Semantics: a match is TRUE; no match
+    is NULL when the list had a NULL or the operand is NULL (the
+    comparison to the unknown member is unknown), otherwise FALSE. An
+    empty list is FALSE for every operand, NULL ones included.
+    """
+
+    def __init__(
+        self, operand: Expr, values: Sequence[Any], has_null: bool = False
+    ) -> None:
         self.operand = operand
-        self.values = list(values)
+        self.values = [v for v in values if v is not None]
+        self.has_null = has_null or any(v is None for v in values)
         self._value_set = set(self.values)
 
     def children(self) -> Sequence[Expr]:
@@ -460,6 +475,13 @@ class InList(Expr):
 
     def eval_batch(self, batch) -> BatchResult:
         values, nulls = self.operand.eval_batch(batch)
+        if not self.values:
+            result = np.zeros(values.shape[0], dtype=bool)
+            # Empty list: FALSE everywhere... unless the list held a NULL,
+            # in which case every answer is unknown.
+            if not self.has_null:
+                return result, None
+            return result, np.ones(values.shape[0], dtype=bool)
         if values.dtype == object:
             result = np.fromiter(
                 (v in self._value_set for v in values.tolist()),
@@ -468,19 +490,28 @@ class InList(Expr):
             )
         else:
             result = np.isin(values, np.array(self.values))
+        if self.has_null:
+            # Non-matches are unknown, matches stay TRUE.
+            nulls = _union_nulls(nulls, ~result)
         return result, nulls
 
     def eval_row(self, row: dict[str, Any]) -> Any:
+        if not self.values and not self.has_null:
+            return False
         value = self.operand.eval_row(row)
         if value is None:
             return None
-        return value in self._value_set
+        if value in self._value_set:
+            return True
+        return None if self.has_null else False
 
     def infer_dtype(self, resolver: Resolver) -> DataType:
         return BOOL
 
     def __str__(self) -> str:
         inner = ", ".join(repr(v) for v in self.values)
+        if self.has_null:
+            inner = f"{inner}, NULL" if inner else "NULL"
         return f"({self.operand} IN ({inner}))"
 
 

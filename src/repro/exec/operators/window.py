@@ -1,0 +1,195 @@
+"""Window-function operator (batch mode) and the shared computation.
+
+Implements the SQL default frame only: with an ORDER BY the aggregate is a
+running, *peers-inclusive* accumulation (RANGE UNBOUNDED PRECEDING ..
+CURRENT ROW); without one the whole partition shares a single value.
+Ranking functions (ROW_NUMBER / RANK / DENSE_RANK) follow the same peer
+structure. NULL partition keys form one partition; order keys sort NULLs
+last, matching the engines' sort operators.
+
+Both engines materialize the input, compute per-partition, and emit rows
+in their *input* order with the window columns appended — a final Sort (if
+any) reorders afterwards, so batch and row mode agree row for row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ...errors import ExecutionError
+from ..batch import DEFAULT_BATCH_SIZE, Batch, concat_batches, slice_into_batches
+from .base import BatchOperator
+from .hash_aggregate import COUNT_STAR
+from .sort import _NullsLast
+
+RANKING_FUNCS = {"row_number", "rank", "dense_rank"}
+WINDOW_FUNCS = RANKING_FUNCS | {COUNT_STAR, "count", "sum", "min", "max", "avg"}
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One window computation: function, argument column, partitioning.
+
+    ``arg`` names a child column (the binder projects computed argument
+    expressions first, like aggregate arguments). ``partition_by`` and
+    ``order_by`` likewise name child columns.
+    """
+
+    func: str
+    arg: str | None
+    partition_by: tuple[str, ...]
+    order_by: tuple[tuple[str, bool], ...]  # (column, descending)
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.func not in WINDOW_FUNCS:
+            raise ExecutionError(f"unknown window function {self.func!r}")
+        needs_arg = self.func not in RANKING_FUNCS and self.func != COUNT_STAR
+        if needs_arg and self.arg is None:
+            raise ExecutionError(f"window {self.func} requires an argument")
+        if not needs_arg and self.arg is not None:
+            raise ExecutionError(f"window {self.func} takes no argument")
+
+
+def compute_window_columns(
+    rows: list[dict[str, Any]], specs: list[WindowSpec]
+) -> dict[str, list[Any]]:
+    """Window column values for ``rows``, aligned with the input order."""
+    return {spec.name: _compute_one(rows, spec) for spec in specs}
+
+
+def _compute_one(rows: list[dict[str, Any]], spec: WindowSpec) -> list[Any]:
+    out: list[Any] = [None] * len(rows)
+    partitions: dict[tuple, list[int]] = {}
+    for i, row in enumerate(rows):
+        key = tuple(row[column] for column in spec.partition_by)
+        partitions.setdefault(key, []).append(i)
+    for indices in partitions.values():
+        ordered = list(indices)
+        # Stable multi-pass sort from the least-significant key backwards,
+        # same scheme as the engines' sort operators (NULLs last ascending).
+        for column, descending in reversed(spec.order_by):
+            ordered.sort(key=lambda i: _NullsLast(rows[i][column]), reverse=descending)
+        if spec.func in RANKING_FUNCS:
+            _rank_partition(rows, spec, ordered, out)
+        else:
+            _aggregate_partition(rows, spec, ordered, out)
+    return out
+
+
+def _peer_groups(
+    rows: list[dict[str, Any]], spec: WindowSpec, ordered: list[int]
+) -> Iterator[list[int]]:
+    """Runs of order-key peers; the whole partition when unordered."""
+    if not spec.order_by:
+        yield ordered
+        return
+    group = [ordered[0]]
+    previous = tuple(rows[ordered[0]][c] for c, _ in spec.order_by)
+    for i in ordered[1:]:
+        key = tuple(rows[i][c] for c, _ in spec.order_by)
+        if key == previous:
+            group.append(i)
+        else:
+            yield group
+            group = [i]
+            previous = key
+    yield group
+
+
+def _rank_partition(
+    rows: list[dict[str, Any]], spec: WindowSpec, ordered: list[int], out: list[Any]
+) -> None:
+    if spec.func == "row_number":
+        for position, i in enumerate(ordered):
+            out[i] = position + 1
+        return
+    position = 0
+    dense = 0
+    for group in _peer_groups(rows, spec, ordered):
+        dense += 1
+        rank = position + 1
+        for i in group:
+            out[i] = rank if spec.func == "rank" else dense
+        position += len(group)
+
+
+def _aggregate_partition(
+    rows: list[dict[str, Any]], spec: WindowSpec, ordered: list[int], out: list[Any]
+) -> None:
+    func = spec.func
+    count = 0
+    total: Any = None  # running sum for SUM / AVG
+    best: Any = None  # running MIN / MAX
+    for group in _peer_groups(rows, spec, ordered):
+        for i in group:
+            if func == COUNT_STAR:
+                count += 1
+                continue
+            value = rows[i][spec.arg]
+            if value is None:
+                continue
+            count += 1
+            if func == "count":
+                continue
+            if func in ("sum", "avg"):
+                total = value if total is None else total + value
+            elif func == "min":
+                best = value if best is None or value < best else best
+            else:  # max
+                best = value if best is None or value > best else best
+        if func in (COUNT_STAR, "count"):
+            current = count
+        elif func == "sum":
+            current = total
+        elif func == "avg":
+            current = total / count if count else None
+        else:
+            current = best
+        for i in group:
+            out[i] = current
+
+
+class BatchWindow(BatchOperator):
+    """Materializing window operator: consumes the child, computes every
+    spec per partition, re-emits input-ordered batches with the window
+    columns appended."""
+
+    def __init__(
+        self,
+        child: BatchOperator,
+        specs: list[WindowSpec],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if not specs:
+            raise ExecutionError("window requires at least one spec")
+        self.child = child
+        self.specs = list(specs)
+        self.batch_size = batch_size
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.child.output_names + [spec.name for spec in self.specs]
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{s.func} AS {s.name}" for s in self.specs)
+        return f"BatchWindow({inner})"
+
+    def child_operators(self) -> list[BatchOperator]:
+        return [self.child]
+
+    def batches(self) -> Iterator[Batch]:
+        merged = concat_batches(list(self.child.batches()))
+        if merged is None:
+            return
+        names = merged.names
+        rows = [dict(zip(names, values)) for values in merged.to_rows()]
+        computed = compute_window_columns(rows, self.specs)
+        batch = merged
+        for spec in self.specs:
+            column = Batch.from_pydict({spec.name: computed[spec.name]})
+            batch = batch.with_column(
+                spec.name, column.columns[spec.name], column.null_masks[spec.name]
+            )
+        yield from slice_into_batches(batch, self.batch_size)

@@ -25,6 +25,7 @@ from .expressions import Expr, predicate_true
 from .operators.base import BatchOperator
 from .operators.hash_aggregate import COUNT_STAR, AggregateSpec
 from .operators.sort import _NullsLast
+from .operators.window import WindowSpec, compute_window_columns
 
 RID_COLUMN = "__rid__"
 
@@ -391,6 +392,38 @@ class RowHashAggregate(RowOperator):
                 else:
                     out[spec.name] = values[i] if counts[i] else None
             yield out
+
+
+class RowWindow(RowOperator):
+    """Window computation, tuple-at-a-time surface: materializes the
+    child, computes every spec per partition (shared helper with batch
+    mode), then re-emits rows in input order with the window columns
+    appended."""
+
+    def __init__(self, child: RowOperator, specs: list[WindowSpec]) -> None:
+        if not specs:
+            raise ExecutionError("window requires at least one spec")
+        self.child = child
+        self.specs = list(specs)
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.child.output_names + [spec.name for spec in self.specs]
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{s.func} AS {s.name}" for s in self.specs)
+        return f"RowWindow({inner})"
+
+    def child_operators(self) -> list[RowOperator]:
+        return [self.child]
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        materialized = [dict(row) for row in self.child.rows()]
+        computed = compute_window_columns(materialized, self.specs)
+        for i, row in enumerate(materialized):
+            for spec in self.specs:
+                row[spec.name] = computed[spec.name][i]
+            yield row
 
 
 class RowSort(RowOperator):

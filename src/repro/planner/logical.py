@@ -14,6 +14,7 @@ from typing import Sequence
 from ..errors import PlanningError
 from ..exec.expressions import Expr
 from ..exec.operators.hash_aggregate import AggregateSpec
+from ..exec.operators.window import WindowSpec
 
 
 class LogicalNode:
@@ -135,6 +136,28 @@ class LogicalAggregate(LogicalNode):
     def __str__(self) -> str:
         aggs = ", ".join(f"{s.func} AS {s.name}" for s in self.aggregates)
         return f"Aggregate(keys={self.group_keys}, aggs=[{aggs}])"
+
+
+@dataclass
+class LogicalWindow(LogicalNode):
+    """Window functions over the child: every spec appends one column.
+
+    The operator preserves the child's row order; a Sort above it (bound
+    from ORDER BY) establishes the presentation order.
+    """
+
+    child: LogicalNode
+    specs: list[WindowSpec]
+
+    def children(self) -> Sequence[LogicalNode]:
+        return (self.child,)
+
+    def output_names(self) -> list[str]:
+        return [*self.child.output_names(), *(s.name for s in self.specs)]
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{s.func} AS {s.name}" for s in self.specs)
+        return f"Window({inner})"
 
 
 @dataclass

@@ -17,6 +17,7 @@ from .logical import (
     LogicalProject,
     LogicalScan,
     LogicalSort,
+    LogicalWindow,
 )
 from .physical import AUTO, CatalogView, PhysicalBuilder
 from .rules import choose_join_sides, place_bitmaps, prune_columns, push_filters
@@ -136,7 +137,7 @@ class Optimizer:
             return min(child, ndv)
         if isinstance(node, LogicalLimit):
             return min(self.estimate_rows(node.child), float(node.limit))
-        if isinstance(node, (LogicalProject, LogicalSort)):
+        if isinstance(node, (LogicalProject, LogicalSort, LogicalWindow)):
             return self.estimate_rows(node.children()[0])
         return 1000.0
 

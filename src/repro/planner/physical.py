@@ -27,6 +27,7 @@ from ..exec.operators.hash_join import BatchHashJoin
 from ..exec.operators.project import BatchProject
 from ..exec.operators.scan import ColumnStoreScan
 from ..exec.operators.sort import BatchSort, BatchTop
+from ..exec.operators.window import BatchWindow
 from ..exec.row_engine import (
     BatchesToRows,
     RowColumnStoreScan,
@@ -38,6 +39,7 @@ from ..exec.row_engine import (
     RowsToBatches,
     RowTableScan,
     RowTop,
+    RowWindow,
 )
 from .logical import (
     LogicalAggregate,
@@ -48,6 +50,7 @@ from .logical import (
     LogicalProject,
     LogicalScan,
     LogicalSort,
+    LogicalWindow,
 )
 from .rewrite import rename_columns
 from .stats import TableStats
@@ -141,6 +144,8 @@ class PhysicalBuilder:
             return self._build_join(node)
         if isinstance(node, LogicalAggregate):
             return self._build_aggregate(node)
+        if isinstance(node, LogicalWindow):
+            return self._build_window(node)
         if isinstance(node, LogicalSort):
             return self._build_sort(node)
         if isinstance(node, LogicalLimit):
@@ -272,6 +277,12 @@ class PhysicalBuilder:
             )
             return PhysResult(BATCH, op)
         return PhysResult(ROW, RowHashAggregate(child.op, node.group_keys, node.aggregates))
+
+    def _build_window(self, node: LogicalWindow) -> PhysResult:
+        child = self.build(node.child)
+        if child.mode == BATCH:
+            return PhysResult(BATCH, BatchWindow(child.op, node.specs, self.batch_size))
+        return PhysResult(ROW, RowWindow(child.op, node.specs))
 
     def _build_sort(self, node: LogicalSort) -> PhysResult:
         child = self.build(node.child)

@@ -50,7 +50,7 @@ def rename_columns(expr: Expr, mapping: dict[str, str]) -> Expr:
         if isinstance(node, Between):
             return Between(rebuild(node.operand), rebuild(node.low), rebuild(node.high))
         if isinstance(node, InList):
-            return InList(rebuild(node.operand), node.values)
+            return InList(rebuild(node.operand), node.values, node.has_null)
         if isinstance(node, Like):
             return Like(rebuild(node.operand), node.pattern, node.negated)
         if isinstance(node, Case):
@@ -92,7 +92,7 @@ def map_expression(expr: Expr, leaf_fn: Callable[[Expr], Expr | None]) -> Expr:
         if isinstance(node, Between):
             return Between(rebuild(node.operand), rebuild(node.low), rebuild(node.high))
         if isinstance(node, InList):
-            return InList(rebuild(node.operand), node.values)
+            return InList(rebuild(node.operand), node.values, node.has_null)
         if isinstance(node, Like):
             return Like(rebuild(node.operand), node.pattern, node.negated)
         if isinstance(node, Case):

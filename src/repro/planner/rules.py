@@ -22,6 +22,7 @@ from .logical import (
     LogicalProject,
     LogicalScan,
     LogicalSort,
+    LogicalWindow,
 )
 from .stats import TableStats
 
@@ -92,6 +93,12 @@ def _push(node: LogicalNode, pending: list[Expr]) -> LogicalNode:
         node.child = _push(node.child, pushable)
         return _wrap_filter(node, stay)
 
+    if isinstance(node, LogicalWindow):
+        # A window's value depends on every row of its partition, so no
+        # conjunct may sink below it; deeper filters still push.
+        node.child = _push(node.child, [])
+        return _wrap_filter(node, pending)
+
     if isinstance(node, (LogicalSort, LogicalLimit, LogicalAggregate)):
         if isinstance(node, LogicalAggregate):
             # Only group-key conjuncts may cross an aggregate.
@@ -131,13 +138,20 @@ def prune_columns(node: LogicalNode, required: set[str] | None = None) -> Logica
         needed = set(required)
         if node.predicate is not None:
             needed |= node.predicate.referenced_columns()
-        node.projections = {
+        pruned = {
             name: storage
             for name, storage in node.projections.items()
             if name in needed
         }
-        if not node.projections:
-            raise PlanningError(f"scan of {node.table} would produce no columns")
+        if not pruned:
+            # A plan that needs no columns from this scan (SELECT 1 FROM t,
+            # EXISTS probes) still needs the scan to drive cardinality:
+            # keep one column rather than producing an empty batch schema.
+            first = next(iter(node.projections), None)
+            if first is None:
+                raise PlanningError(f"scan of {node.table} would produce no columns")
+            pruned = {first: node.projections[first]}
+        node.projections = pruned
         return node
 
     if isinstance(node, LogicalFilter):
@@ -172,6 +186,20 @@ def prune_columns(node: LogicalNode, required: set[str] | None = None) -> Logica
             # COUNT(*) over no keys still needs one column to count rows.
             child_names = node.child.output_names()
             child_needed = {child_names[0]}
+        node.child = prune_columns(node.child, child_needed)
+        return node
+
+    if isinstance(node, LogicalWindow):
+        produced = {spec.name for spec in node.specs}
+        child_needed = required - produced
+        for spec in node.specs:
+            if spec.arg is not None:
+                child_needed.add(spec.arg)
+            child_needed.update(spec.partition_by)
+            child_needed.update(column for column, _ in spec.order_by)
+        if not child_needed:
+            # A bare ROW_NUMBER() over no partition still needs row counts.
+            child_needed = {node.child.output_names()[0]}
         node.child = prune_columns(node.child, child_needed)
         return node
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from ..errors import PlanningError
 from ..exec.operators.hash_aggregate import COUNT_STAR
+from ..exec.operators.window import RANKING_FUNCS
 from ..types import BIGINT, FLOAT, DataType, TypeKind
 from .logical import (
     LogicalAggregate,
@@ -19,6 +20,7 @@ from .logical import (
     LogicalProject,
     LogicalScan,
     LogicalSort,
+    LogicalWindow,
 )
 from .physical import CatalogView
 
@@ -48,6 +50,11 @@ def infer_output_dtypes(node: LogicalNode, catalog: CatalogView) -> dict[str, Da
         for spec in node.aggregates:
             out[spec.name] = _aggregate_dtype(spec, resolver)
         return out
+    if isinstance(node, LogicalWindow):
+        out = infer_output_dtypes(node.child, catalog)
+        for spec in node.specs:
+            out[spec.name] = _window_dtype(spec, out)
+        return out
     raise PlanningError(f"unknown logical node {type(node).__name__}")
 
 
@@ -72,6 +79,25 @@ def _aggregate_dtype(spec, resolver) -> DataType:
             return BIGINT
         return arg
     # AVG: decimals stay scaled (presentation divides), everything else float.
+    if arg.kind is TypeKind.DECIMAL:
+        return arg
+    return FLOAT
+
+
+def _window_dtype(spec, child: dict[str, DataType]) -> DataType:
+    """Output type of a window spec; same rules as the aggregates."""
+    if spec.func in RANKING_FUNCS or spec.func in (COUNT_STAR, "count"):
+        return BIGINT
+    try:
+        arg = child[spec.arg]
+    except KeyError:
+        raise PlanningError(
+            f"unknown column {spec.arg!r} during type inference"
+        ) from None
+    if spec.func in ("min", "max"):
+        return arg
+    if spec.func == "sum":
+        return BIGINT if arg.kind is TypeKind.INT else arg
     if arg.kind is TypeKind.DECIMAL:
         return arg
     return FLOAT

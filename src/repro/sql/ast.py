@@ -98,6 +98,68 @@ class EIsNull(SqlExpr):
     negated: bool = False
 
 
+@dataclass
+class ESubquery(SqlExpr):
+    """A scalar subquery: ``(SELECT ...)`` in expression position."""
+
+    select: "SelectStatement"
+
+    def __str__(self) -> str:
+        return "(SELECT ...)"
+
+
+@dataclass
+class EExists(SqlExpr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    select: "SelectStatement"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{'NOT ' if self.negated else ''}EXISTS (SELECT ...)"
+
+
+@dataclass
+class EInSubquery(SqlExpr):
+    """``operand [NOT] IN (SELECT ...)``."""
+
+    operand: SqlExpr
+    select: "SelectStatement"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"({self.operand} {'NOT ' if self.negated else ''}IN (SELECT ...))"
+
+
+@dataclass
+class EWindow(SqlExpr):
+    """A window function call: ``func(args) OVER (PARTITION BY ... ORDER BY ...)``.
+
+    ``star`` marks ``COUNT(*) OVER (...)``. The only supported frame is the
+    SQL default (RANGE UNBOUNDED PRECEDING .. CURRENT ROW when ordered,
+    the whole partition otherwise); explicit frames are rejected at parse
+    time.
+    """
+
+    func: str
+    args: list[SqlExpr]
+    star: bool = False
+    partition_by: list[SqlExpr] = field(default_factory=list)
+    order_by: list[tuple[SqlExpr, bool]] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        inner = "*" if self.star else ", ".join(str(a) for a in self.args)
+        parts = []
+        if self.partition_by:
+            parts.append("PARTITION BY " + ", ".join(str(p) for p in self.partition_by))
+        if self.order_by:
+            parts.append(
+                "ORDER BY "
+                + ", ".join(f"{e}{' DESC' if d else ''}" for e, d in self.order_by)
+            )
+        return f"{self.func}({inner}) OVER ({' '.join(parts)})"
+
+
 # ---------------------------------------------------------------------- #
 # Statements
 # ---------------------------------------------------------------------- #
@@ -133,6 +195,9 @@ class SelectStatement:
     order_by: list[tuple[SqlExpr, bool]]  # (expr, descending)
     limit: int | None
     distinct: bool
+    # WITH clause: (name, select) pairs in declaration order. Non-recursive
+    # only; each reference re-binds the definition (inlining).
+    ctes: list[tuple[str, "SelectStatement"]] = field(default_factory=list)
 
 
 @dataclass

@@ -4,15 +4,25 @@ Name resolution, implicit literal coercion (date strings and decimal
 literals become their physical representations), aggregate extraction and
 the single-namespace-per-stage discipline that keeps plan column names
 unique (multi-table queries qualify columns as ``alias.column``).
+
+Subqueries bind in two ways. Uncorrelated ones (scalar, ``IN``,
+``EXISTS``) are planned and *executed once* at bind time through the
+``executor`` callback, folding their result into the outer plan as a
+literal / constant IN-list. Correlated ``EXISTS`` / ``IN`` predicates in
+the WHERE clause are decorrelated into semi/anti-joins on their
+correlation equalities. Non-recursive CTEs are inlined: every reference
+re-binds the definition (the optimizer mutates plans in place, so shared
+subtrees are not allowed).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from ..errors import BindingError
 from ..exec import expressions as X
 from ..exec.operators.hash_aggregate import COUNT_STAR, AggregateSpec
+from ..exec.operators.window import RANKING_FUNCS, WindowSpec
 from ..planner.logical import (
     LogicalAggregate,
     LogicalFilter,
@@ -22,11 +32,17 @@ from ..planner.logical import (
     LogicalProject,
     LogicalScan,
     LogicalSort,
+    LogicalWindow,
 )
 from ..types import BIGINT, FLOAT, DataType, TypeKind
 from . import ast as A
 
 _AGG_FUNCS = {"count", "sum", "min", "max", "avg"}
+_WINDOW_AGG_FUNCS = {"count", "sum", "min", "max", "avg"}
+
+# Executes a bound logical plan, returning physical-value tuples. Wired by
+# the runner; binding statements with subqueries fails without one.
+SubqueryExecutor = Callable[[LogicalNode], list[tuple]]
 
 
 class _Namespace:
@@ -65,21 +81,54 @@ class _Namespace:
 class Binder:
     """Binds one SELECT statement against a catalog."""
 
-    def __init__(self, catalog) -> None:
+    def __init__(self, catalog, executor: SubqueryExecutor | None = None) -> None:
         self.catalog = catalog
+        self.executor = executor
+        # name -> (definition, CTEs visible to that definition). Each
+        # reference re-binds the definition against its own snapshot, so
+        # a CTE may use earlier CTEs but never itself (no recursion).
+        self._ctes: dict[str, tuple[A.SelectStatement, dict]] = {}
 
     # ------------------------------------------------------------------ #
     # SELECT
     # ------------------------------------------------------------------ #
     def bind_select(self, stmt: A.SelectStatement) -> LogicalNode:
+        outer_ctes = self._ctes
+        if stmt.ctes:
+            registry = dict(outer_ctes)
+            local: set[str] = set()
+            for name, definition in stmt.ctes:
+                key = name.lower()
+                if key in local:
+                    raise BindingError(f"duplicate CTE name {name!r}")
+                local.add(key)
+                registry[key] = (definition, dict(registry))
+            self._ctes = registry
+        try:
+            return self._bind_select_body(stmt)
+        finally:
+            self._ctes = outer_ctes
+
+    def _bind_select_body(self, stmt: A.SelectStatement) -> LogicalNode:
         if stmt.from_table is None:
             raise BindingError("SELECT without FROM is not supported")
         plan, namespace = self._bind_from(stmt)
 
-        if stmt.where is not None:
-            plan = LogicalFilter(plan, self._bind_scalar(stmt.where, namespace))
+        self._reject_windows_in(stmt.where, "WHERE")
+        self._reject_windows_in(stmt.having, "HAVING")
+        for group_expr in stmt.group_by:
+            self._reject_windows_in(group_expr, "GROUP BY")
 
+        if stmt.where is not None:
+            plan = self._bind_where(stmt.where, plan, namespace)
+
+        window_lookup: dict[str, str] | None = None
         has_aggregates = self._contains_aggregate(stmt)
+        has_windows = any(self._has_window(item.expr) for item in stmt.items)
+        if has_windows and (has_aggregates or stmt.group_by):
+            raise BindingError(
+                "not supported: window functions mixed with GROUP BY / aggregates"
+            )
         if has_aggregates or stmt.group_by:
             base = namespace
             plan, namespace, agg_lookup, group_lookup = self._bind_aggregate(
@@ -90,7 +139,11 @@ class Binder:
             )
         else:
             self._reject_aggregates_in(stmt.having, "HAVING without GROUP BY")
-            plan = self._bind_outputs(stmt, plan, namespace, agg_lookup=None)
+            if has_windows:
+                plan, window_lookup = self._bind_windows(stmt, plan, namespace)
+            plan = self._bind_outputs(
+                stmt, plan, namespace, agg_lookup=None, group_lookup=window_lookup
+            )
 
         if stmt.distinct:
             plan = LogicalAggregate(plan, list(plan.output_names()), [])
@@ -99,6 +152,149 @@ class Binder:
         if stmt.limit is not None:
             plan = LogicalLimit(plan, stmt.limit)
         return plan
+
+    # ------------------------------------------------------------------ #
+    # WHERE: plain conjuncts, uncorrelated subqueries, decorrelation
+    # ------------------------------------------------------------------ #
+    def _bind_where(
+        self, where: A.SqlExpr, plan: LogicalNode, namespace: _Namespace
+    ) -> LogicalNode:
+        """Bind the WHERE clause conjunct by conjunct.
+
+        EXISTS / IN-subquery conjuncts first try the uncorrelated path
+        (bind + execute once); if that fails on name resolution they are
+        decorrelated into a semi/anti-join on their correlation columns.
+        """
+        residual: list[X.Expr] = []
+        for conjunct in _split_ast_conjuncts(where):
+            node, flipped = _strip_not(conjunct)
+            if isinstance(node, (A.EExists, A.EInSubquery)):
+                negated = node.negated ^ flipped
+                try:
+                    residual.append(self._bind_scalar(conjunct, namespace))
+                    continue
+                except BindingError as error:
+                    plan = self._decorrelate(node, negated, plan, namespace, error)
+                    continue
+            residual.append(self._bind_scalar(conjunct, namespace))
+        if residual:
+            predicate = residual[0]
+            for extra in residual[1:]:
+                predicate = X.And(predicate, extra)
+            plan = LogicalFilter(plan, predicate)
+        return plan
+
+    def _decorrelate(
+        self,
+        node: A.EExists | A.EInSubquery,
+        negated: bool,
+        plan: LogicalNode,
+        namespace: _Namespace,
+        original_error: BindingError,
+    ) -> LogicalNode:
+        """Rewrite a correlated EXISTS / IN predicate as a semi/anti-join.
+
+        Supported shape: a plain SELECT whose WHERE splits into conjuncts
+        each either local to the subquery or an equality between an inner
+        expression and one *outer* column. Anything else re-raises the
+        uncorrelated path's error.
+        """
+        sub = node.select
+        if (
+            sub.from_table is None
+            or sub.ctes
+            or sub.group_by
+            or sub.having is not None
+            or sub.distinct
+            or sub.order_by
+            or sub.limit is not None
+            or self._contains_aggregate(sub)
+        ):
+            raise original_error
+        if isinstance(node, A.EInSubquery) and negated:
+            raise BindingError(
+                "not supported: correlated NOT IN subquery — rewrite as "
+                "NOT EXISTS for well-defined NULL semantics"
+            )
+
+        inner_plan, inner_ns = self._bind_from(sub)
+        inner_filters: list[X.Expr] = []
+        computed: list[tuple[str, X.Expr]] = []
+        pairs: list[tuple[str, str]] = []  # (outer column, inner column)
+
+        def inner_column(bound: X.Expr) -> str:
+            if isinstance(bound, X.Column):
+                return bound.name
+            name = f"__corr_{len(computed)}"
+            computed.append((name, bound))
+            return name
+
+        conjuncts = _split_ast_conjuncts(sub.where) if sub.where is not None else []
+        for conjunct in conjuncts:
+            try:
+                inner_filters.append(self._bind_scalar(conjunct, inner_ns))
+                continue
+            except BindingError:
+                pass
+            pair = self._correlation_pair(conjunct, namespace, inner_ns)
+            if pair is None:
+                raise BindingError(
+                    f"unsupported correlated subquery predicate: {conjunct}"
+                ) from original_error
+            outer_col, inner_bound = pair
+            pairs.append((outer_col, inner_column(inner_bound)))
+
+        if isinstance(node, A.EInSubquery):
+            if not isinstance(node.operand, A.EIdent):
+                raise BindingError(
+                    "correlated IN requires a plain column on the left-hand side"
+                )
+            outer_col = namespace.resolve(node.operand)
+            if sub.star or len(sub.items) != 1:
+                raise BindingError("IN subquery must select exactly one column")
+            value_bound = self._bind_scalar(sub.items[0].expr, inner_ns)
+            pairs.insert(0, (outer_col, inner_column(value_bound)))
+        if not pairs:
+            raise original_error
+
+        if computed:
+            passthrough = [(n, X.Column(n)) for n in inner_plan.output_names()]
+            inner_plan = LogicalProject(inner_plan, passthrough + computed)
+        if inner_filters:
+            predicate = inner_filters[0]
+            for extra in inner_filters[1:]:
+                predicate = X.And(predicate, extra)
+            inner_plan = LogicalFilter(inner_plan, predicate)
+        return LogicalJoin(
+            left=plan,
+            right=inner_plan,
+            left_keys=[outer for outer, _ in pairs],
+            right_keys=[inner for _, inner in pairs],
+            join_type="anti" if negated else "semi",
+        )
+
+    def _correlation_pair(
+        self, conjunct: A.SqlExpr, outer_ns: _Namespace, inner_ns: _Namespace
+    ) -> tuple[str, X.Expr] | None:
+        """Match ``inner_expr = outer_column`` (either side order)."""
+        if not isinstance(conjunct, A.EBinary) or conjunct.op != "=":
+            return None
+        for outer_side, inner_side in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if not isinstance(outer_side, A.EIdent):
+                continue
+            try:
+                outer_col = outer_ns.resolve(outer_side)
+            except BindingError:
+                continue
+            try:
+                inner_bound = self._bind_scalar(inner_side, inner_ns)
+            except BindingError:
+                continue
+            return outer_col, inner_bound
+        return None
 
     # ------------------------------------------------------------------ #
     # FROM / JOIN
@@ -113,7 +309,34 @@ class Binder:
         namespace = _Namespace()
         alias_tables: dict[str, Any] = {}
 
-        def make_scan(ref: A.TableRef) -> LogicalScan:
+        def make_cte_scan(ref: A.TableRef) -> LogicalNode:
+            # Inline the CTE: re-bind its definition (fresh plan per
+            # reference — the optimizer mutates plans in place) against
+            # the CTEs that were visible at its declaration.
+            definition, snapshot = self._ctes[ref.table.lower()]
+            saved = self._ctes
+            self._ctes = snapshot
+            try:
+                subplan = self.bind_select(definition)
+            finally:
+                self._ctes = saved
+            from ..planner.schema_infer import infer_output_dtypes
+
+            dtypes = infer_output_dtypes(subplan, self.catalog)
+            projections: list[tuple[str, X.Expr]] = []
+            rename = False
+            for label in subplan.output_names():
+                plan_name = f"{ref.alias}.{label}" if multi else label
+                rename = rename or plan_name != label
+                projections.append((plan_name, X.Column(label)))
+                namespace.add(ref.alias, label, plan_name, dtypes[label])
+            if rename:
+                return LogicalProject(subplan, projections)
+            return subplan
+
+        def make_scan(ref: A.TableRef) -> LogicalNode:
+            if ref.table.lower() in self._ctes:
+                return make_cte_scan(ref)
             table = self.catalog.table(ref.table)
             alias_tables[ref.alias.lower()] = table
             projections: dict[str, str] = {}
@@ -393,8 +616,8 @@ class Binder:
                 label = item.alias
             elif isinstance(item.expr, A.EIdent):
                 label = item.expr.name
-            elif isinstance(item.expr, A.EFunc):
-                label = item.expr.name
+            elif isinstance(item.expr, (A.EFunc, A.EWindow)):
+                label = item.expr.name if isinstance(item.expr, A.EFunc) else item.expr.func
             else:
                 label = f"col{index}"
             labels.append(label)
@@ -431,6 +654,134 @@ class Binder:
             else:
                 raise BindingError("unsupported ORDER BY expression")
         return LogicalSort(plan, keys)
+
+    # ------------------------------------------------------------------ #
+    # Window functions
+    # ------------------------------------------------------------------ #
+    def _has_window(self, expr: A.SqlExpr) -> bool:
+        if isinstance(expr, A.EWindow):
+            return True
+        return any(self._has_window(child) for child in _ast_children(expr))
+
+    def _reject_windows_in(self, expr: A.SqlExpr | None, context: str) -> None:
+        if expr is not None and self._has_window(expr):
+            raise BindingError(
+                f"window functions are only allowed in the select list, not {context}"
+            )
+
+    def _bind_windows(
+        self, stmt: A.SelectStatement, plan: LogicalNode, namespace: _Namespace
+    ) -> tuple[LogicalNode, dict[str, str]]:
+        """Plan every window call in the select list.
+
+        Computed partition/order/argument expressions are pre-projected
+        (like aggregate arguments); each distinct call becomes one
+        :class:`WindowSpec` whose output the select items reference
+        through the canonical-expression lookup.
+        """
+        calls: list[A.EWindow] = []
+        for item in stmt.items:
+            self._collect_windows(item.expr, calls)
+        for expr, _ in stmt.order_by:
+            self._reject_windows_in(expr, "ORDER BY")
+
+        computed: list[tuple[str, X.Expr]] = []
+        taken = set(plan.output_names())
+        specs: list[WindowSpec] = []
+        lookup: dict[str, str] = {}
+
+        def column_for(expr: A.SqlExpr, prefix: str) -> str:
+            if isinstance(expr, A.EIdent):
+                return namespace.resolve(expr)
+            bound = self._bind_scalar(expr, namespace)
+            name = _unique_name(prefix, taken)
+            taken.add(name)
+            computed.append((name, bound))
+            namespace.dtypes[name] = self._dtype_of(bound, namespace) or BIGINT
+            return name
+
+        for index, call in enumerate(calls):
+            canonical = _canonical(call, namespace)
+            if canonical in lookup:
+                continue
+            func = COUNT_STAR if call.star else call.func
+            arg: str | None = None
+            if func in _WINDOW_AGG_FUNCS:
+                if len(call.args) != 1:
+                    raise BindingError(f"window {call.func} takes exactly one argument")
+                self._reject_aggregates_in(call.args[0], "window argument")
+                arg = column_for(call.args[0], f"__win_arg_{index}")
+            elif call.args:
+                raise BindingError(f"window {call.func} takes no arguments")
+            partition = tuple(
+                column_for(expr, f"__win_part_{index}_{i}")
+                for i, expr in enumerate(call.partition_by)
+            )
+            order = tuple(
+                (column_for(expr, f"__win_ord_{index}_{i}"), descending)
+                for i, (expr, descending) in enumerate(call.order_by)
+            )
+            out_name = _unique_name(f"__win_{index}", taken)
+            taken.add(out_name)
+            spec = WindowSpec(func, arg, partition, order, out_name)
+            specs.append(spec)
+            lookup[canonical] = out_name
+            namespace.dtypes[out_name] = _window_dtype(spec, namespace)
+
+        if computed:
+            passthrough = [(n, X.Column(n)) for n in plan.output_names()]
+            plan = LogicalProject(plan, passthrough + computed)
+        return LogicalWindow(plan, specs), lookup
+
+    def _collect_windows(self, expr: A.SqlExpr, calls: list[A.EWindow]) -> None:
+        if isinstance(expr, A.EWindow):
+            calls.append(expr)
+            for child in expr.args:
+                self._reject_windows_in(child, "a window argument")
+            return
+        for child in _ast_children(expr):
+            self._collect_windows(child, calls)
+
+    # ------------------------------------------------------------------ #
+    # Uncorrelated subquery execution
+    # ------------------------------------------------------------------ #
+    def _execute_subquery(self, plan: LogicalNode) -> list[tuple]:
+        if self.executor is None:
+            raise BindingError(
+                "subqueries require an execution context (no executor wired)"
+            )
+        return self.executor(plan)
+
+    def _scalar_subquery(self, select: A.SelectStatement) -> X.Expr:
+        from ..planner.schema_infer import infer_output_dtypes
+
+        plan = self.bind_select(select)
+        names = plan.output_names()
+        if len(names) != 1:
+            raise BindingError("scalar subquery must return exactly one column")
+        dtype = infer_output_dtypes(plan, self.catalog)[names[0]]
+        rows = self._execute_subquery(plan)
+        if len(rows) > 1:
+            raise BindingError("scalar subquery returned more than one row")
+        value = rows[0][0] if rows else None
+        return X.Literal(value, dtype)
+
+    def _exists_subquery(self, select: A.SelectStatement, negated: bool) -> X.Expr:
+        plan = LogicalLimit(self.bind_select(select), 1)
+        rows = self._execute_subquery(plan)
+        return X.Literal(bool(rows) != negated)
+
+    def _in_subquery(
+        self, node: A.EInSubquery, operand: X.Expr
+    ) -> X.Expr:
+        plan = self.bind_select(node.select)
+        names = plan.output_names()
+        if len(names) != 1:
+            raise BindingError("IN subquery must select exactly one column")
+        raw = [row[0] for row in self._execute_subquery(plan)]
+        values = [v for v in raw if v is not None]
+        bound = X.InList(operand, values, has_null=len(values) != len(raw))
+        return X.Not(bound) if node.negated else bound
 
     # ------------------------------------------------------------------ #
     # Scalar expression binding
@@ -501,6 +852,16 @@ class Binder:
                 return X.Like(bind(node.operand), node.pattern, node.negated)
             if isinstance(node, A.EIsNull):
                 return X.IsNull(bind(node.operand), node.negated)
+            if isinstance(node, A.ESubquery):
+                return self._scalar_subquery(node.select)
+            if isinstance(node, A.EExists):
+                return self._exists_subquery(node.select, node.negated)
+            if isinstance(node, A.EInSubquery):
+                return self._in_subquery(node, bind(node.operand))
+            if isinstance(node, A.EWindow):
+                raise BindingError(
+                    "window functions are only allowed in the select list"
+                )
             raise BindingError(f"unsupported expression {type(node).__name__}")
 
         return bind(expr)
@@ -556,6 +917,10 @@ class Binder:
         dtype = self._dtype_of(target, namespace)
         if dtype is None:
             return literal
+        if literal.dtype is not None and literal.dtype.kind is dtype.kind:
+            # Already physical (e.g. a scalar-subquery result): coercing
+            # again would double-scale decimals / re-parse dates.
+            return literal
         if dtype.kind in (TypeKind.DATE, TypeKind.DECIMAL):
             try:
                 return X.Literal(dtype.coerce(literal.value), dtype)
@@ -601,7 +966,34 @@ def _ast_children(expr: A.SqlExpr) -> list[A.SqlExpr]:
         return [expr.operand, expr.low, expr.high]
     if isinstance(expr, (A.EIn, A.ELike, A.EIsNull)):
         return [expr.operand]
+    if isinstance(expr, A.EWindow):
+        out = list(expr.args)
+        out.extend(expr.partition_by)
+        out.extend(e for e, _ in expr.order_by)
+        return out
+    # Subquery selects are separate scopes — walks (aggregate/window
+    # detection) must not descend into them; only the IN operand is ours.
+    if isinstance(expr, A.EInSubquery):
+        return [expr.operand]
+    if isinstance(expr, (A.ESubquery, A.EExists)):
+        return []
     return []
+
+
+def _split_ast_conjuncts(expr: A.SqlExpr) -> list[A.SqlExpr]:
+    """Flatten a WHERE tree over top-level ANDs."""
+    if isinstance(expr, A.EBinary) and expr.op == "and":
+        return _split_ast_conjuncts(expr.left) + _split_ast_conjuncts(expr.right)
+    return [expr]
+
+
+def _strip_not(expr: A.SqlExpr) -> tuple[A.SqlExpr, bool]:
+    """Peel NOT wrappers; returns (inner expression, negation flipped)."""
+    flipped = False
+    while isinstance(expr, A.EUnary) and expr.op == "not":
+        expr = expr.operand
+        flipped = not flipped
+    return expr, flipped
 
 
 def _canonical(expr: A.SqlExpr, namespace: _Namespace) -> str:
@@ -641,6 +1033,15 @@ def _canonical(expr: A.SqlExpr, namespace: _Namespace) -> str:
         if expr.default is not None:
             parts.append(_canonical(expr.default, namespace))
         return "case(" + ";".join(parts) + ")"
+    if isinstance(expr, A.EWindow):
+        inner = "*" if expr.star else ",".join(
+            _canonical(a, namespace) for a in expr.args
+        )
+        partition = ",".join(_canonical(p, namespace) for p in expr.partition_by)
+        order = ",".join(
+            f"{_canonical(e, namespace)}:{d}" for e, d in expr.order_by
+        )
+        return f"win:{expr.func}({inner})p[{partition}]o[{order}]"
     return repr(expr)
 
 
@@ -670,6 +1071,19 @@ def _agg_dtype(spec: AggregateSpec, namespace: _Namespace) -> DataType:
     if spec.func in (COUNT_STAR, "count"):
         return BIGINT
     arg = spec.expr.infer_dtype(namespace.dtype_of)
+    if spec.func in ("min", "max"):
+        return arg
+    if spec.func == "sum":
+        return BIGINT if arg.kind is TypeKind.INT else arg
+    if arg.kind is TypeKind.DECIMAL:
+        return arg
+    return FLOAT
+
+
+def _window_dtype(spec: WindowSpec, namespace: _Namespace) -> DataType:
+    if spec.func in RANKING_FUNCS or spec.func in (COUNT_STAR, "count"):
+        return BIGINT
+    arg = namespace.dtype_of(spec.arg)
     if spec.func in ("min", "max"):
         return arg
     if spec.func == "sum":

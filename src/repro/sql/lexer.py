@@ -15,6 +15,8 @@ KEYWORDS = {
     "table", "drop", "delete", "update", "set", "using", "asc", "desc",
     "true", "false", "exists", "explain", "analyze",
     "begin", "commit", "rollback", "start", "transaction", "work",
+    "with", "recursive", "over", "partition",
+    "union", "intersect", "except",
 }
 
 # Multi-character operators first so they win over single-char prefixes.
@@ -94,6 +96,15 @@ def tokenize(sql: str) -> list[Token]:
             raise SqlSyntaxError(f"unexpected character {ch!r}", i)
     tokens.append(Token("eof", "", n))
     return tokens
+
+
+def line_column(sql: str, position: int) -> tuple[int, int]:
+    """1-based (line, column) of a character offset in ``sql``."""
+    position = max(0, min(position, len(sql)))
+    line = sql.count("\n", 0, position) + 1
+    last_newline = sql.rfind("\n", 0, position)
+    column = position - last_newline if last_newline != -1 else position + 1
+    return line, column
 
 
 def _read_string(sql: str, start: int) -> tuple[str, int]:

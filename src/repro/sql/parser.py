@@ -14,13 +14,17 @@ from .ast import (
     EBetween,
     EBinary,
     ECase,
+    EExists,
     EFunc,
     EIdent,
     EIn,
+    EInSubquery,
     EIsNull,
     ELike,
     ELiteral,
+    ESubquery,
     EUnary,
+    EWindow,
     ExplainStatement,
     InsertStatement,
     JoinClause,
@@ -31,21 +35,42 @@ from .ast import (
     TableRef,
     UpdateStatement,
 )
-from .lexer import Token, tokenize
+from .lexer import Token, line_column, tokenize
 
 _AGGREGATE_FUNCS = {"count", "sum", "min", "max", "avg"}
+_WINDOW_FUNCS = {"row_number", "rank", "dense_rank", "count", "sum", "min", "max", "avg"}
+_SET_OPERATIONS = {"union", "intersect", "except"}
 
 
 class Parser:
     """One-pass recursive-descent parser over the token stream."""
 
     def __init__(self, sql: str) -> None:
-        self.tokens = tokenize(sql)
+        self.sql = sql
+        try:
+            self.tokens = tokenize(sql)
+        except SqlSyntaxError as exc:
+            if exc.position is None:
+                raise
+            line, column = line_column(sql, exc.position)
+            # Re-raise with line/column context; the original message
+            # carries an "(at offset N)" suffix we rebuild without.
+            raise SqlSyntaxError(
+                str(exc).rsplit(" (at offset", 1)[0],
+                position=exc.position,
+                line=line,
+                column=column,
+            ) from None
         self.pos = 0
 
     # ------------------------------------------------------------------ #
     # Token helpers
     # ------------------------------------------------------------------ #
+    def _error(self, message: str, token: Token) -> SqlSyntaxError:
+        """A syntax error pointing at ``token`` with line/column context."""
+        line, column = line_column(self.sql, token.position)
+        return SqlSyntaxError(message, position=token.position, line=line, column=column)
+
     def peek(self, ahead: int = 0) -> Token:
         return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
 
@@ -64,9 +89,7 @@ class Parser:
     def expect_keyword(self, word: str) -> None:
         token = self.advance()
         if not token.is_keyword(word):
-            raise SqlSyntaxError(
-                f"expected {word.upper()}, got {token.text!r}", token.position
-            )
+            raise self._error(f"expected {word.upper()}, got {token.text!r}", token)
 
     def accept_op(self, op: str) -> bool:
         if self.peek().is_op(op):
@@ -77,12 +100,12 @@ class Parser:
     def expect_op(self, op: str) -> None:
         token = self.advance()
         if not token.is_op(op):
-            raise SqlSyntaxError(f"expected {op!r}, got {token.text!r}", token.position)
+            raise self._error(f"expected {op!r}, got {token.text!r}", token)
 
     def expect_ident(self) -> str:
         token = self.advance()
         if token.kind != "ident":
-            raise SqlSyntaxError(f"expected identifier, got {token.text!r}", token.position)
+            raise self._error(f"expected identifier, got {token.text!r}", token)
         return token.text
 
     # ------------------------------------------------------------------ #
@@ -94,6 +117,8 @@ class Parser:
             statement = self.parse_explain()
         elif token.is_keyword("select"):
             statement = self.parse_select()
+        elif token.is_keyword("with"):
+            statement = self.parse_with()
         elif token.is_keyword("insert"):
             statement = self.parse_insert()
         elif token.is_keyword("create"):
@@ -111,11 +136,11 @@ class Parser:
         elif token.is_keyword("rollback"):
             statement = self.parse_txn_end("rollback", RollbackStatement)
         else:
-            raise SqlSyntaxError(f"unexpected token {token.text!r}", token.position)
+            raise self._error(f"unexpected token {token.text!r}", token)
         self.accept_op(";")
         tail = self.peek()
         if tail.kind != "eof":
-            raise SqlSyntaxError(f"trailing input {tail.text!r}", tail.position)
+            raise self._error(f"trailing input {tail.text!r}", tail)
         return statement
 
     def parse_begin(self) -> BeginStatement:
@@ -140,12 +165,48 @@ class Parser:
         self.expect_keyword("explain")
         analyze = self.accept_keyword("analyze")
         token = self.peek()
+        if token.is_keyword("with"):
+            return ExplainStatement(self.parse_with(), analyze=analyze)
         if not token.is_keyword("select"):
-            raise SqlSyntaxError(
-                f"EXPLAIN expects a SELECT statement, got {token.text!r}",
-                token.position,
+            raise self._error(
+                f"EXPLAIN expects a SELECT statement, got {token.text!r}", token
             )
         return ExplainStatement(self.parse_select(), analyze=analyze)
+
+    def parse_with(self) -> SelectStatement:
+        """``WITH name AS (select) [, ...] SELECT ...`` — non-recursive."""
+        self.expect_keyword("with")
+        token = self.peek()
+        if token.is_keyword("recursive"):
+            raise self._error(
+                "not supported: RECURSIVE common table expressions", token
+            )
+        ctes = [self._cte()]
+        while self.accept_op(","):
+            ctes.append(self._cte())
+        token = self.peek()
+        if not token.is_keyword("select"):
+            raise self._error(
+                f"expected SELECT after WITH clause, got {token.text!r}", token
+            )
+        statement = self.parse_select()
+        statement.ctes = ctes
+        return statement
+
+    def _cte(self) -> tuple[str, SelectStatement]:
+        name = self.expect_ident()
+        self.expect_keyword("as")
+        self.expect_op("(")
+        token = self.peek()
+        if token.is_keyword("with"):
+            raise self._error("not supported: WITH nested inside a CTE body", token)
+        if not token.is_keyword("select"):
+            raise self._error(
+                f"expected SELECT in CTE body, got {token.text!r}", token
+            )
+        select = self.parse_select()
+        self.expect_op(")")
+        return name, select
 
     def parse_select(self) -> SelectStatement:
         self.expect_keyword("select")
@@ -205,8 +266,13 @@ class Parser:
         if self.accept_keyword("limit"):
             token = self.advance()
             if token.kind != "number" or "." in token.text:
-                raise SqlSyntaxError("LIMIT expects an integer", token.position)
+                raise self._error("LIMIT expects an integer", token)
             limit = int(token.text)
+        tail = self.peek()
+        if tail.kind == "keyword" and tail.text in _SET_OPERATIONS:
+            raise self._error(
+                f"not supported: {tail.text.upper()} (set operations)", tail
+            )
         return SelectStatement(
             items=items,
             star=star,
@@ -253,9 +319,8 @@ class Parser:
     def _qualified_ident(self) -> EIdent:
         token = self.advance()
         if token.kind != "ident":
-            raise SqlSyntaxError(
-                f"expected identifier in join condition, got {token.text!r}",
-                token.position,
+            raise self._error(
+                f"expected identifier in join condition, got {token.text!r}", token
             )
         if self.accept_op("."):
             column = self.expect_ident()
@@ -316,8 +381,8 @@ class Parser:
         name = self.expect_ident()
         type_token = self.advance()
         if type_token.kind != "ident":
-            raise SqlSyntaxError(
-                f"expected a type name, got {type_token.text!r}", type_token.position
+            raise self._error(
+                f"expected a type name, got {type_token.text!r}", type_token
             )
         type_name = type_token.text.lower()
         params: list[int] = []
@@ -325,7 +390,7 @@ class Parser:
             while True:
                 number = self.advance()
                 if number.kind != "number":
-                    raise SqlSyntaxError("expected numeric type parameter", number.position)
+                    raise self._error("expected numeric type parameter", number)
                 params.append(int(number.text))
                 if not self.accept_op(","):
                     break
@@ -384,9 +449,25 @@ class Parser:
         return left
 
     def _not_expr(self) -> SqlExpr:
+        if self.peek().is_keyword("not") and self.peek(1).is_keyword("exists"):
+            self.advance()
+            self.advance()
+            return self._exists_tail(negated=True)
         if self.accept_keyword("not"):
             return EUnary("not", self._not_expr())
         return self._comparison()
+
+    def _exists_tail(self, negated: bool) -> EExists:
+        """Parse ``(SELECT ...)`` after an EXISTS keyword."""
+        self.expect_op("(")
+        token = self.peek()
+        if not token.is_keyword("select"):
+            raise self._error(
+                f"EXISTS expects a subquery, got {token.text!r}", token
+            )
+        select = self.parse_select()
+        self.expect_op(")")
+        return EExists(select, negated=negated)
 
     def _comparison(self) -> SqlExpr:
         left = self._additive()
@@ -410,6 +491,10 @@ class Parser:
         if token.is_keyword("in"):
             self.advance()
             self.expect_op("(")
+            if self.peek().is_keyword("select"):
+                select = self.parse_select()
+                self.expect_op(")")
+                return EInSubquery(left, select, negated)
             values = [self._literal_value()]
             while self.accept_op(","):
                 values.append(self._literal_value())
@@ -419,7 +504,7 @@ class Parser:
             self.advance()
             pattern = self.advance()
             if pattern.kind != "string":
-                raise SqlSyntaxError("LIKE expects a string pattern", pattern.position)
+                raise self._error("LIKE expects a string pattern", pattern)
             return ELike(left, pattern.text, negated)
         if token.is_keyword("is"):
             self.advance()
@@ -442,7 +527,7 @@ class Parser:
             return False
         if token.is_op("-") and self.peek().kind == "number":
             return -_parse_number(self.advance().text)
-        raise SqlSyntaxError(f"expected a literal, got {token.text!r}", token.position)
+        raise self._error(f"expected a literal, got {token.text!r}", token)
 
     def _additive(self) -> SqlExpr:
         left = self._multiplicative()
@@ -485,34 +570,93 @@ class Parser:
         if token.is_keyword("false"):
             return ELiteral(False)
         if token.is_op("("):
+            if self.peek().is_keyword("select"):
+                select = self.parse_select()
+                self.expect_op(")")
+                return ESubquery(select)
+            if self.peek().is_keyword("with"):
+                raise self._error(
+                    "not supported: WITH inside a subquery — declare CTEs at the "
+                    "top level",
+                    self.peek(),
+                )
             expr = self.parse_expr()
             self.expect_op(")")
             return expr
+        if token.is_keyword("exists"):
+            return self._exists_tail(negated=False)
         if token.is_keyword("case"):
             return self._case_tail()
         if token.kind == "ident":
             if self.peek().is_op("("):
-                return self._function_call(token.text)
+                call = self._function_call(token.text)
+                if self.peek().is_keyword("over"):
+                    self.advance()
+                    return self._window_tail(call)
+                return call
             if self.accept_op("."):
                 column = self.expect_ident()
                 return EIdent(column, qualifier=token.text)
             return EIdent(token.text)
-        raise SqlSyntaxError(f"unexpected token {token.text!r}", token.position)
+        raise self._error(f"unexpected token {token.text!r}", token)
 
     def _function_call(self, name: str) -> EFunc:
+        token = self.peek()
         self.expect_op("(")
         lowered = name.lower()
         if self.accept_op("*"):
             self.expect_op(")")
             if lowered != "count":
-                raise SqlSyntaxError(f"{name}(*) is only valid for COUNT")
+                raise self._error(f"{name}(*) is only valid for COUNT", token)
             return EFunc(lowered, [], star=True)
+        if self.accept_op(")"):
+            return EFunc(lowered, [])
         distinct = self.accept_keyword("distinct")
         args = [self.parse_expr()]
         while self.accept_op(","):
             args.append(self.parse_expr())
         self.expect_op(")")
         return EFunc(lowered, args, distinct=distinct)
+
+    def _window_tail(self, call: EFunc) -> EWindow:
+        """Parse ``( [PARTITION BY ...] [ORDER BY ...] )`` after OVER."""
+        opener = self.peek()
+        self.expect_op("(")
+        if call.name not in _WINDOW_FUNCS:
+            raise self._error(
+                f"not supported: window function {call.name.upper()}", opener
+            )
+        if call.distinct:
+            raise self._error(
+                "not supported: DISTINCT inside a window function", opener
+            )
+        partition_by: list[SqlExpr] = []
+        if self.accept_keyword("partition"):
+            self.expect_keyword("by")
+            partition_by.append(self.parse_expr())
+            while self.accept_op(","):
+                partition_by.append(self.parse_expr())
+        order_by: list[tuple[SqlExpr, bool]] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+        token = self.peek()
+        if not token.is_op(")"):
+            raise self._error(
+                "not supported: window frames (ROWS/RANGE/GROUPS) — only the "
+                "default frame is available",
+                token,
+            )
+        self.advance()
+        return EWindow(
+            call.name,
+            call.args,
+            star=call.star,
+            partition_by=partition_by,
+            order_by=order_by,
+        )
 
     def _case_tail(self) -> ECase:
         branches = []

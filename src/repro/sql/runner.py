@@ -40,6 +40,11 @@ def run_statement(db, sql: str, **options: Any):
     return run_parsed(db, parse_statement(sql), **options)
 
 
+def make_binder(db) -> Binder:
+    """A binder wired to execute uncorrelated subqueries against ``db``."""
+    return Binder(db.catalog, executor=lambda plan: list(db.compile(plan).rows()))
+
+
 def run_parsed(db, statement: Any, **options: Any):
     """Execute an already-parsed statement against ``db``.
 
@@ -48,7 +53,7 @@ def run_parsed(db, statement: Any, **options: Any):
     splitting parse from dispatch avoids parsing twice.
     """
     if isinstance(statement, A.SelectStatement):
-        plan = Binder(db.catalog).bind_select(statement)
+        plan = make_binder(db).bind_select(statement)
         return db.execute(plan, **options)
     if isinstance(statement, A.ExplainStatement):
         return _run_explain(db, statement, **options)
@@ -84,7 +89,7 @@ def plan_query(db, sql: str) -> LogicalNode:
         statement = statement.select
     if not isinstance(statement, A.SelectStatement):
         raise SqlSyntaxError("EXPLAIN expects a SELECT statement")
-    return Binder(db.catalog).bind_select(statement)
+    return make_binder(db).bind_select(statement)
 
 
 def _run_explain(db, statement: A.ExplainStatement, **options: Any):
@@ -92,7 +97,7 @@ def _run_explain(db, statement: A.ExplainStatement, **options: Any):
     from ..db.database import Result
 
     options.pop("stats", None)  # ANALYZE decides collection itself
-    plan = Binder(db.catalog).bind_select(statement.select)
+    plan = make_binder(db).bind_select(statement.select)
     if statement.analyze:
         text = db.explain_analyze(plan, **options)
     else:
@@ -166,12 +171,12 @@ def _table_namespace(db, table_name: str) -> _Namespace:
 def _bind_table_predicate(db, table_name: str, where: A.SqlExpr | None):
     if where is None:
         return None
-    binder = Binder(db.catalog)
+    binder = make_binder(db)
     return binder._bind_scalar(where, _table_namespace(db, table_name))
 
 
 def _run_update(db, statement: A.UpdateStatement):
-    binder = Binder(db.catalog)
+    binder = make_binder(db)
     namespace = _table_namespace(db, statement.table)
     table = db.table(statement.table)
     assignments: dict[str, X.Expr] = {}

@@ -1,0 +1,136 @@
+"""Loader and comparison helpers for the differential SQL battery.
+
+Statements live in ``statements/*.sql``, one file per feature area. A
+statement runs until a line ending in ``;``. Directive comments attach
+to the *next* statement:
+
+* ``-- plan: <substring>`` — the EXPLAIN text must contain the substring
+  (repeatable).
+* ``-- no-oracle: <reason>`` — skip the sqlite comparison (dialect or
+  semantics difference; the reason is kept for reporting).
+* ``-- tpch: <Qn>`` — marks an adapted TPC-H query for the coverage
+  floor.
+
+Every statement is checked three ways by ``test_battery.py``: EXPLAIN
+produces a plan (with the expected markers), the batch and row engines
+agree, and — unless opted out — the rows match sqlite on the same data.
+"""
+
+from __future__ import annotations
+
+import datetime
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.types import TypeKind
+
+STATEMENTS_DIR = Path(__file__).parent / "statements"
+
+
+@dataclass
+class Statement:
+    sql: str
+    source: str  # "<file>:<index>"
+    plan_markers: list[str] = field(default_factory=list)
+    no_oracle: str | None = None  # reason, when oracle comparison is off
+    tpch: str | None = None  # "Q13" etc for adapted TPC-H queries
+
+
+def load_statements() -> list[Statement]:
+    statements: list[Statement] = []
+    for path in sorted(STATEMENTS_DIR.glob("*.sql")):
+        statements.extend(_load_file(path))
+    return statements
+
+
+def _load_file(path: Path) -> list[Statement]:
+    statements: list[Statement] = []
+    markers: list[str] = []
+    no_oracle: str | None = None
+    tpch: str | None = None
+    lines: list[str] = []
+    for raw in path.read_text().splitlines():
+        line = raw.rstrip()
+        stripped = line.strip()
+        if stripped.startswith("--"):
+            directive = stripped[2:].strip()
+            if directive.startswith("plan:"):
+                markers.append(directive[len("plan:"):].strip())
+            elif directive.startswith("no-oracle:"):
+                no_oracle = directive[len("no-oracle:"):].strip()
+            elif directive.startswith("tpch:"):
+                tpch = directive[len("tpch:"):].strip()
+            continue
+        if not stripped:
+            continue
+        lines.append(line)
+        if stripped.endswith(";"):
+            sql = "\n".join(lines).rstrip().rstrip(";")
+            statements.append(
+                Statement(
+                    sql=sql,
+                    source=f"{path.stem}:{len(statements):03d}",
+                    plan_markers=markers,
+                    no_oracle=no_oracle,
+                    tpch=tpch,
+                )
+            )
+            markers, no_oracle, tpch, lines = [], None, None, []
+    if lines:
+        raise ValueError(f"{path}: trailing statement without terminating ';'")
+    return statements
+
+
+# ---------------------------------------------------------------------- #
+# Row normalization: make engine and oracle outputs comparable
+# ---------------------------------------------------------------------- #
+def normalize_rows(rows, ndigits: int) -> list[tuple]:
+    """Sorted, type-flattened rows: dates->ISO, numbers->rounded float."""
+    out = []
+    for row in rows:
+        norm = []
+        for value in row:
+            if isinstance(value, bool):
+                value = float(int(value))
+            elif isinstance(value, (datetime.date, datetime.datetime)):
+                value = value.isoformat()[:10]
+            elif isinstance(value, (int, float)):
+                value = round(float(value), ndigits)
+            norm.append(value)
+        out.append(tuple(norm))
+    out.sort(key=lambda r: tuple((x is None, str(type(x)), x) for x in r))
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# The sqlite oracle
+# ---------------------------------------------------------------------- #
+_SQLITE_TYPES = {
+    TypeKind.INT: "INTEGER",
+    TypeKind.BIGINT: "INTEGER",
+    TypeKind.BOOL: "INTEGER",
+    TypeKind.FLOAT: "REAL",
+    TypeKind.DECIMAL: "REAL",
+    TypeKind.VARCHAR: "TEXT",
+    TypeKind.DATE: "TEXT",  # ISO-8601 strings compare like dates
+}
+
+
+def build_oracle(schemas: dict, data: dict[str, list[tuple]]) -> sqlite3.Connection:
+    """An in-memory sqlite database holding the same logical data."""
+    conn = sqlite3.connect(":memory:")
+    conn.create_function("year", 1, lambda s: None if s is None else int(s[:4]))
+    conn.create_function("month", 1, lambda s: None if s is None else int(s[5:7]))
+    conn.create_function("day", 1, lambda s: None if s is None else int(s[8:10]))
+    for name, table_schema in schemas.items():
+        columns = ", ".join(
+            f"{col.name} {_SQLITE_TYPES[col.dtype.kind]}"
+            for col in table_schema.columns
+        )
+        conn.execute(f"CREATE TABLE {name} ({columns})")
+        width = len(table_schema.columns)
+        holes = ", ".join("?" * width)
+        conn.executemany(f"INSERT INTO {name} VALUES ({holes})", data[name])
+    conn.commit()
+    return conn

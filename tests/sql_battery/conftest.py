@@ -1,0 +1,21 @@
+"""Session fixtures for the SQL battery: one engine DB, one sqlite oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tpch_tiny import SCHEMAS, build_tpch_tiny, generate_tpch_tiny
+
+from .battery_lib import build_oracle
+
+
+@pytest.fixture(scope="session")
+def battery_db():
+    return build_tpch_tiny()
+
+
+@pytest.fixture(scope="session")
+def oracle():
+    conn = build_oracle(SCHEMAS, generate_tpch_tiny())
+    yield conn
+    conn.close()

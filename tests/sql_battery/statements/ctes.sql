@@ -1,0 +1,55 @@
+-- WITH: single CTEs, multiple CTEs, chained references, CTEs in joins.
+
+WITH big_orders AS (SELECT o_orderkey, o_custkey, o_totalprice FROM orders WHERE o_totalprice > 25000)
+SELECT o_orderkey FROM big_orders ORDER BY o_orderkey;
+WITH big_orders AS (SELECT o_orderkey, o_custkey, o_totalprice FROM orders WHERE o_totalprice > 25000)
+SELECT COUNT(*) AS n FROM big_orders;
+WITH building AS (SELECT c_custkey, c_name FROM customer WHERE c_mktsegment = 'BUILDING')
+SELECT c_name FROM building ORDER BY c_name;
+WITH urgent AS (SELECT o_orderkey FROM orders WHERE o_orderpriority = '1-URGENT')
+SELECT l.l_orderkey, l.l_linenumber FROM lineitem l JOIN urgent u ON l.l_orderkey = u.o_orderkey ORDER BY l.l_orderkey, l.l_linenumber LIMIT 40;
+WITH spend AS (SELECT o_custkey, SUM(o_totalprice) AS total FROM orders GROUP BY o_custkey)
+SELECT o_custkey, total FROM spend ORDER BY o_custkey;
+WITH spend AS (SELECT o_custkey, SUM(o_totalprice) AS total FROM orders GROUP BY o_custkey)
+SELECT c.c_name, s.total FROM customer c JOIN spend s ON c.c_custkey = s.o_custkey ORDER BY c.c_name;
+WITH spend AS (SELECT o_custkey, SUM(o_totalprice) AS total FROM orders GROUP BY o_custkey)
+SELECT AVG(total) AS mean_spend FROM spend;
+-- Two CTEs, the second built from the first.
+WITH spend AS (SELECT o_custkey, SUM(o_totalprice) AS total FROM orders GROUP BY o_custkey),
+     heavy AS (SELECT o_custkey FROM spend WHERE total > 150000)
+SELECT o_custkey FROM heavy ORDER BY o_custkey;
+WITH recent AS (SELECT o_orderkey, o_custkey FROM orders WHERE o_orderdate >= '1997-01-01'),
+     recent_lines AS (SELECT l.l_orderkey, l.l_quantity FROM lineitem l JOIN recent r ON l.l_orderkey = r.o_orderkey)
+SELECT SUM(l_quantity) AS qty FROM recent_lines;
+-- The same CTE referenced twice.
+WITH stats AS (SELECT o_custkey, COUNT(*) AS n FROM orders GROUP BY o_custkey)
+SELECT a.o_custkey FROM stats a JOIN stats b ON a.n = b.n WHERE a.o_custkey < b.o_custkey ORDER BY a.o_custkey, b.o_custkey;
+-- CTE consumed by an aggregate over a join.
+WITH priced AS (SELECT l_orderkey, l_extendedprice * (1 - l_discount) AS net FROM lineitem)
+SELECT o.o_orderstatus, SUM(p.net) AS revenue FROM orders o JOIN priced p ON o.o_orderkey = p.l_orderkey GROUP BY o.o_orderstatus ORDER BY o.o_orderstatus;
+-- CTE + subquery mixing.
+WITH rich AS (SELECT c_custkey FROM customer WHERE c_acctbal > 5000)
+SELECT o_orderkey FROM orders WHERE o_custkey IN (SELECT c_custkey FROM rich) ORDER BY o_orderkey;
+WITH open_orders AS (SELECT o_orderkey, o_custkey FROM orders WHERE o_orderstatus = 'O')
+SELECT c_custkey FROM customer c WHERE EXISTS (SELECT 1 FROM open_orders o WHERE o.o_custkey = c.c_custkey) ORDER BY c_custkey;
+-- CTE with DISTINCT, ORDER BY + LIMIT in the outer query.
+WITH modes AS (SELECT DISTINCT l_shipmode FROM lineitem)
+SELECT l_shipmode FROM modes ORDER BY l_shipmode;
+WITH top_orders AS (SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 20000)
+SELECT o_orderkey, o_totalprice FROM top_orders ORDER BY o_totalprice DESC, o_orderkey LIMIT 5;
+-- CTE columns renamed via aliases inside the CTE body.
+WITH renamed AS (SELECT c_custkey AS id, c_acctbal AS balance FROM customer)
+SELECT id, balance FROM renamed WHERE balance > 0 ORDER BY id;
+-- CTE over the nullable bucket table.
+WITH grouped AS (SELECT grp, COUNT(*) AS n FROM bucket GROUP BY grp)
+SELECT grp, n FROM grouped ORDER BY n, grp;
+WITH valued AS (SELECT id, v FROM bucket WHERE v IS NOT NULL)
+SELECT COUNT(*) AS n, SUM(v) AS total FROM valued;
+-- Three chained CTEs.
+WITH a AS (SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 10000),
+     b AS (SELECT o_orderkey FROM a WHERE o_totalprice < 30000),
+     c AS (SELECT COUNT(*) AS n FROM b)
+SELECT n FROM c;
+-- CTE feeding a window function.
+WITH spend AS (SELECT o_custkey, SUM(o_totalprice) AS total FROM orders GROUP BY o_custkey)
+SELECT o_custkey, RANK() OVER (ORDER BY total DESC) AS r FROM spend ORDER BY o_custkey;

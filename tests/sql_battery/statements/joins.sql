@@ -1,0 +1,26 @@
+-- Joins: inner, left outer, multi-table, self joins, join + aggregation.
+
+SELECT c.c_name, o.o_orderkey FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey ORDER BY o.o_orderkey LIMIT 40;
+SELECT c.c_custkey, o.o_totalprice FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey ORDER BY o.o_totalprice DESC, c.c_custkey LIMIT 10;
+SELECT o.o_orderkey, l.l_linenumber FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey ORDER BY o.o_orderkey, l.l_linenumber LIMIT 50;
+SELECT c.c_mktsegment, COUNT(*) AS n FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey GROUP BY c.c_mktsegment ORDER BY c.c_mktsegment;
+SELECT c.c_mktsegment, SUM(o.o_totalprice) AS volume FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey GROUP BY c.c_mktsegment ORDER BY c.c_mktsegment;
+SELECT c.c_name, COUNT(*) AS n FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey GROUP BY c.c_name ORDER BY c.c_name;
+SELECT c.c_name, o.o_orderkey, l.l_linenumber FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey JOIN lineitem l ON o.o_orderkey = l.l_orderkey ORDER BY o.o_orderkey, l.l_linenumber LIMIT 40;
+SELECT c.c_mktsegment, SUM(l.l_quantity) AS qty FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey JOIN lineitem l ON o.o_orderkey = l.l_orderkey GROUP BY c.c_mktsegment ORDER BY c.c_mktsegment;
+SELECT c.c_custkey, o.o_orderkey FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey ORDER BY c.c_custkey, o.o_orderkey LIMIT 60;
+SELECT c.c_custkey FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey WHERE o.o_orderkey IS NULL ORDER BY c.c_custkey;
+SELECT c.c_custkey, COUNT(o.o_orderkey) AS n FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey GROUP BY c.c_custkey ORDER BY c.c_custkey;
+SELECT o.o_orderstatus, AVG(l.l_discount) AS mean_disc FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey GROUP BY o.o_orderstatus ORDER BY o.o_orderstatus;
+SELECT a.o_orderkey, b.o_orderkey AS other FROM orders a JOIN orders b ON a.o_custkey = b.o_custkey WHERE a.o_orderkey < b.o_orderkey ORDER BY a.o_orderkey, b.o_orderkey LIMIT 50;
+SELECT c.c_name, o.o_orderdate, o.o_orderkey FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey WHERE o.o_orderdate >= '1997-01-01' ORDER BY o.o_orderdate, o.o_orderkey LIMIT 30;
+SELECT c.c_name, o.o_totalprice FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey WHERE c.c_mktsegment = 'BUILDING' AND o.o_orderstatus = 'O' ORDER BY o.o_totalprice, c.c_name;
+SELECT o.o_orderpriority, COUNT(*) AS n FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey WHERE l.l_shipmode = 'AIR' GROUP BY o.o_orderpriority ORDER BY o.o_orderpriority;
+SELECT c.c_nationkey, COUNT(*) AS n FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey GROUP BY c.c_nationkey ORDER BY c.c_nationkey;
+SELECT c.c_custkey, MAX(o.o_totalprice) AS biggest FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey GROUP BY c.c_custkey ORDER BY c.c_custkey;
+SELECT l.l_shipmode, COUNT(*) AS n FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey WHERE o.o_orderstatus = 'F' GROUP BY l.l_shipmode ORDER BY l.l_shipmode;
+SELECT c.c_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey JOIN lineitem l ON o.o_orderkey = l.l_orderkey GROUP BY c.c_name ORDER BY c.c_name;
+SELECT o.o_orderkey, COUNT(*) AS lines FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey GROUP BY o.o_orderkey HAVING COUNT(*) >= 4 ORDER BY o.o_orderkey;
+SELECT c.c_custkey, o.o_orderkey FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey WHERE c.c_acctbal < 0 ORDER BY c.c_custkey, o.o_orderkey;
+SELECT c.c_mktsegment, MIN(o.o_orderdate) AS first_order FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey GROUP BY c.c_mktsegment ORDER BY c.c_mktsegment;
+SELECT b.id, b.v, c.c_custkey FROM bucket b JOIN customer c ON b.id = c.c_custkey ORDER BY b.id;

@@ -1,0 +1,39 @@
+-- Three-valued logic: IN/NOT IN with NULLs, IS NULL, NULL-safe aggregates.
+-- The bucket table has NULLs in both grp (every 9th) and v (every 5th).
+
+SELECT id FROM bucket WHERE v IS NULL ORDER BY id;
+SELECT id FROM bucket WHERE v IS NOT NULL ORDER BY id;
+SELECT id FROM bucket WHERE grp IS NULL ORDER BY id;
+-- NULL comparisons are UNKNOWN, so the row is rejected.
+SELECT id FROM bucket WHERE v > 0 ORDER BY id;
+SELECT id FROM bucket WHERE NOT (v > 0) ORDER BY id;
+SELECT id FROM bucket WHERE v = v ORDER BY id;
+-- IN lists with and without NULL members.
+SELECT id FROM bucket WHERE v IN (1, 2, 3, 4, 5) ORDER BY id;
+SELECT id FROM bucket WHERE v NOT IN (1, 2, 3, 4, 5) ORDER BY id;
+SELECT id FROM bucket WHERE v IN (1, 2, NULL) ORDER BY id;
+-- NOT IN over a list containing NULL matches nothing: x <> NULL is UNKNOWN.
+SELECT id FROM bucket WHERE v NOT IN (1, 2, NULL) ORDER BY id;
+-- IN (SELECT ...) where the subquery result contains NULLs.
+SELECT c_custkey FROM customer WHERE c_custkey IN (SELECT v FROM bucket) ORDER BY c_custkey;
+-- NOT IN against a NULL-containing set is empty, the classic trap.
+SELECT c_custkey FROM customer WHERE c_custkey NOT IN (SELECT v FROM bucket) ORDER BY c_custkey;
+-- Filtering the NULLs first restores the intuitive complement.
+SELECT c_custkey FROM customer WHERE c_custkey NOT IN (SELECT v FROM bucket WHERE v IS NOT NULL) ORDER BY c_custkey;
+-- IN against an empty subquery result is FALSE, not NULL.
+SELECT c_custkey FROM customer WHERE c_custkey IN (SELECT v FROM bucket WHERE v > 9999) ORDER BY c_custkey;
+SELECT c_custkey FROM customer WHERE c_custkey NOT IN (SELECT v FROM bucket WHERE v > 9999) ORDER BY c_custkey;
+-- EXISTS ignores NULLs entirely: rows either match or they do not.
+SELECT b.id FROM bucket b WHERE EXISTS (SELECT 1 FROM bucket o WHERE o.v = b.v) ORDER BY b.id;
+SELECT b.id FROM bucket b WHERE NOT EXISTS (SELECT 1 FROM bucket o WHERE o.v = b.id) ORDER BY b.id;
+-- Aggregates skip NULLs; COUNT(*) does not.
+SELECT COUNT(*) AS all_rows, COUNT(v) AS with_value FROM bucket;
+SELECT SUM(v) AS total, AVG(v) AS mean, MIN(v) AS lo, MAX(v) AS hi FROM bucket;
+SELECT grp, COUNT(*) AS n, COUNT(v) AS vn FROM bucket GROUP BY grp ORDER BY n, vn;
+-- NULLs form their own GROUP BY key.
+SELECT grp, SUM(v) AS total FROM bucket GROUP BY grp ORDER BY total;
+-- COALESCE picks the first non-NULL.
+SELECT id, COALESCE(v, -1) AS filled FROM bucket ORDER BY id;
+SELECT id, COALESCE(grp, 'none') AS g FROM bucket ORDER BY id;
+-- CASE over NULL input takes the ELSE branch.
+SELECT id, CASE WHEN v > 10 THEN 'big' WHEN v > 0 THEN 'small' ELSE 'other' END AS label FROM bucket ORDER BY id;

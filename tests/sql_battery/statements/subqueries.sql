@@ -1,0 +1,56 @@
+-- Subqueries: scalar, IN/NOT IN, EXISTS/NOT EXISTS, correlated and not.
+
+SELECT c_custkey FROM customer WHERE c_acctbal > (SELECT AVG(c_acctbal) FROM customer) ORDER BY c_custkey;
+SELECT o_orderkey FROM orders WHERE o_totalprice > (SELECT AVG(o_totalprice) FROM orders) ORDER BY o_orderkey;
+SELECT o_orderkey FROM orders WHERE o_totalprice = (SELECT MAX(o_totalprice) FROM orders) ORDER BY o_orderkey;
+SELECT l_orderkey, l_linenumber FROM lineitem WHERE l_quantity = (SELECT MAX(l_quantity) FROM lineitem) ORDER BY l_orderkey, l_linenumber;
+SELECT c_custkey FROM customer WHERE c_acctbal < (SELECT MIN(o_totalprice) FROM orders) ORDER BY c_custkey;
+SELECT c_name, (SELECT MAX(o_totalprice) FROM orders) AS ceiling FROM customer ORDER BY c_name LIMIT 5;
+SELECT o_orderkey, o_totalprice - (SELECT AVG(o_totalprice) FROM orders) AS delta FROM orders ORDER BY o_orderkey LIMIT 20;
+-- plan: IN (
+SELECT c_custkey FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders) ORDER BY c_custkey;
+SELECT c_custkey FROM customer WHERE c_custkey NOT IN (SELECT o_custkey FROM orders) ORDER BY c_custkey;
+SELECT o_orderkey FROM orders WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem WHERE l_quantity > 45) ORDER BY o_orderkey;
+SELECT o_orderkey FROM orders WHERE o_custkey IN (SELECT c_custkey FROM customer WHERE c_mktsegment = 'BUILDING') ORDER BY o_orderkey;
+SELECT o_orderkey FROM orders WHERE o_custkey NOT IN (SELECT c_custkey FROM customer WHERE c_acctbal < 0) ORDER BY o_orderkey;
+SELECT l_orderkey, l_linenumber FROM lineitem WHERE l_orderkey IN (SELECT o_orderkey FROM orders WHERE o_orderpriority = '1-URGENT') ORDER BY l_orderkey, l_linenumber LIMIT 50;
+SELECT c_custkey FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders WHERE o_totalprice > 30000) ORDER BY c_custkey;
+SELECT c_custkey FROM customer WHERE c_nationkey IN (SELECT c_nationkey FROM customer WHERE c_acctbal > 9000) ORDER BY c_custkey;
+-- Uncorrelated EXISTS: the probe collapses to a constant predicate.
+SELECT c_custkey FROM customer WHERE EXISTS (SELECT 1 FROM orders WHERE o_totalprice > 30000) ORDER BY c_custkey;
+SELECT c_custkey FROM customer WHERE NOT EXISTS (SELECT 1 FROM orders WHERE o_totalprice > 99999999) ORDER BY c_custkey;
+SELECT o_orderkey FROM orders WHERE EXISTS (SELECT 1 FROM customer WHERE c_acctbal < -500) ORDER BY o_orderkey LIMIT 20;
+-- Correlated EXISTS becomes a semi join.
+-- plan: Join(semi
+SELECT c_custkey FROM customer c WHERE EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey) ORDER BY c_custkey;
+-- plan: Join(anti
+SELECT c_custkey FROM customer c WHERE NOT EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey) ORDER BY c_custkey;
+-- plan: Join(semi
+SELECT o_orderkey FROM orders o WHERE EXISTS (SELECT 1 FROM lineitem l WHERE l.l_orderkey = o.o_orderkey AND l.l_quantity > 45) ORDER BY o_orderkey;
+-- plan: Join(anti
+SELECT o_orderkey FROM orders o WHERE NOT EXISTS (SELECT 1 FROM lineitem l WHERE l.l_orderkey = o.o_orderkey AND l.l_discount > 0.08) ORDER BY o_orderkey;
+-- plan: Join(semi
+SELECT c_name FROM customer c WHERE EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey AND o.o_orderstatus = 'P') ORDER BY c_name;
+SELECT c_name FROM customer c WHERE NOT EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey AND o.o_totalprice > 25000) ORDER BY c_name;
+-- plan: Join(semi
+SELECT c_custkey FROM customer c WHERE EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey AND o.o_orderdate >= '1997-01-01') ORDER BY c_custkey;
+SELECT l_orderkey, l_linenumber FROM lineitem l WHERE EXISTS (SELECT 1 FROM orders o WHERE o.o_orderkey = l.l_orderkey AND o.o_orderstatus = 'F') ORDER BY l_orderkey, l_linenumber LIMIT 50;
+-- Correlated IN is decorrelated the same way.
+-- plan: Join(semi
+SELECT c_custkey FROM customer c WHERE c_custkey IN (SELECT o_custkey FROM orders o WHERE o.o_custkey = c.c_custkey AND o.o_totalprice > 30000) ORDER BY c_custkey;
+-- Subqueries nested inside subqueries.
+SELECT c_custkey FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem WHERE l_quantity = 50)) ORDER BY c_custkey;
+SELECT o_orderkey FROM orders WHERE o_custkey IN (SELECT c_custkey FROM customer WHERE c_acctbal > (SELECT AVG(c_acctbal) FROM customer)) ORDER BY o_orderkey;
+-- Subqueries against aggregated/grouped inners.
+SELECT c_custkey FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders GROUP BY o_custkey HAVING COUNT(*) > 8) ORDER BY c_custkey;
+SELECT c_custkey FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders GROUP BY o_custkey HAVING SUM(o_totalprice) > 150000) ORDER BY c_custkey;
+-- Subquery in HAVING.
+SELECT o_custkey, COUNT(*) AS n FROM orders GROUP BY o_custkey HAVING COUNT(*) > (SELECT COUNT(*) FROM customer WHERE c_acctbal < 0) ORDER BY o_custkey;
+-- Scalar subquery over a filtered inner.
+SELECT c_custkey FROM customer WHERE c_acctbal > (SELECT AVG(c_acctbal) FROM customer WHERE c_mktsegment = 'FURNITURE') ORDER BY c_custkey;
+SELECT o_orderkey FROM orders WHERE o_totalprice < (SELECT AVG(l_extendedprice) FROM lineitem WHERE l_returnflag = 'R') ORDER BY o_orderkey;
+-- IN over dates.
+SELECT o_orderkey FROM orders WHERE o_orderdate IN (SELECT l_shipdate FROM lineitem) ORDER BY o_orderkey;
+-- EXISTS with the bucket table's NULLs in play.
+SELECT b.id FROM bucket b WHERE EXISTS (SELECT 1 FROM customer c WHERE c.c_custkey = b.id) ORDER BY b.id;
+SELECT b.id FROM bucket b WHERE NOT EXISTS (SELECT 1 FROM customer c WHERE c.c_custkey = b.v) ORDER BY b.id;

@@ -1,0 +1,125 @@
+-- Adapted TPC-H queries over the tiny dataset (no nation/region/part
+-- tables: nation keys group directly, and date ranges match the data).
+
+-- tpch: Q1
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= '1998-08-01'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus;
+
+-- tpch: Q3
+SELECT l.l_orderkey,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       o.o_orderdate
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE c.c_mktsegment = 'BUILDING'
+  AND o.o_orderdate < '1997-03-15'
+  AND l.l_shipdate > '1997-03-15'
+GROUP BY l.l_orderkey, o.o_orderdate
+ORDER BY revenue DESC, l.l_orderkey
+LIMIT 10;
+
+-- tpch: Q4
+-- plan: Join(semi
+SELECT o_orderpriority, COUNT(*) AS order_count
+FROM orders o
+WHERE o_orderdate >= '1996-01-01'
+  AND o_orderdate < '1997-01-01'
+  AND EXISTS (
+    SELECT 1 FROM lineitem l
+    WHERE l.l_orderkey = o.o_orderkey
+      AND l.l_commitdate < l.l_receiptdate
+  )
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority;
+
+-- tpch: Q6
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= '1996-01-01'
+  AND l_shipdate < '1997-01-01'
+  AND l_discount BETWEEN 0.02 AND 0.08
+  AND l_quantity < 24;
+
+-- tpch: Q10
+SELECT c.c_custkey, c.c_name,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       c.c_acctbal
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE o.o_orderdate >= '1996-01-01'
+  AND o.o_orderdate < '1997-01-01'
+  AND l.l_returnflag = 'R'
+GROUP BY c.c_custkey, c.c_name, c.c_acctbal
+ORDER BY revenue DESC, c.c_custkey
+LIMIT 20;
+
+-- tpch: Q12
+SELECT l.l_shipmode,
+       SUM(CASE WHEN o.o_orderpriority = '1-URGENT' OR o.o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o.o_orderpriority <> '1-URGENT' AND o.o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count
+FROM orders o
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE l.l_shipmode IN ('MAIL', 'SHIP')
+  AND l.l_commitdate < l.l_receiptdate
+  AND l.l_shipdate < l.l_commitdate
+  AND l.l_receiptdate >= '1995-06-01'
+  AND l.l_receiptdate < '1997-06-01'
+GROUP BY l.l_shipmode
+ORDER BY l.l_shipmode;
+
+-- tpch: Q13
+WITH filtered_orders AS (
+  SELECT o_orderkey, o_custkey FROM orders
+  WHERE o_comment NOT LIKE '%special%requests%'
+),
+c_orders AS (
+  SELECT c.c_custkey, COUNT(f.o_orderkey) AS c_count
+  FROM customer c
+  LEFT JOIN filtered_orders f ON c.c_custkey = f.o_custkey
+  GROUP BY c.c_custkey
+)
+SELECT c_count, COUNT(*) AS custdist
+FROM c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC;
+
+-- tpch: Q18
+SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice,
+       SUM(l.l_quantity) AS total_qty
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE o.o_orderkey IN (
+  SELECT l_orderkey FROM lineitem
+  GROUP BY l_orderkey
+  HAVING SUM(l_quantity) > 120
+)
+GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice
+ORDER BY o.o_totalprice DESC, o.o_orderkey
+LIMIT 10;
+
+-- tpch: Q22
+-- plan: Join(anti
+SELECT c_nationkey, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal
+FROM customer c
+WHERE c.c_acctbal > (
+    SELECT AVG(c_acctbal) FROM customer WHERE c_acctbal > 0.0
+  )
+  AND NOT EXISTS (
+    SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey
+  )
+GROUP BY c_nationkey
+ORDER BY c_nationkey;

@@ -1,0 +1,53 @@
+-- Window functions: ranking, partitioned aggregates, running totals.
+-- Oracle-compared statements keep ORDER BY keys NOT NULL (our windows
+-- order NULLs last, sqlite orders them first) and give ROW_NUMBER a
+-- total order so ties cannot flip.
+
+-- plan: Window(
+SELECT o_orderkey, ROW_NUMBER() OVER (ORDER BY o_orderkey) AS rn FROM orders ORDER BY o_orderkey LIMIT 30;
+SELECT o_orderkey, ROW_NUMBER() OVER (ORDER BY o_totalprice DESC, o_orderkey) AS rn FROM orders ORDER BY o_orderkey LIMIT 30;
+SELECT c_custkey, ROW_NUMBER() OVER (ORDER BY c_acctbal, c_custkey) AS rn FROM customer ORDER BY c_custkey;
+SELECT c_custkey, ROW_NUMBER() OVER (PARTITION BY c_mktsegment ORDER BY c_acctbal DESC, c_custkey) AS rn FROM customer ORDER BY c_custkey;
+SELECT o_orderkey, ROW_NUMBER() OVER (PARTITION BY o_custkey ORDER BY o_orderdate, o_orderkey) AS seq FROM orders ORDER BY o_orderkey;
+-- plan: Window(
+SELECT c_custkey, RANK() OVER (ORDER BY c_mktsegment) AS r FROM customer ORDER BY c_custkey;
+SELECT o_orderkey, RANK() OVER (ORDER BY o_orderstatus) AS r FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT o_orderkey, RANK() OVER (PARTITION BY o_orderstatus ORDER BY o_totalprice DESC) AS r FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT c_custkey, DENSE_RANK() OVER (ORDER BY c_mktsegment) AS dr FROM customer ORDER BY c_custkey;
+SELECT o_orderkey, DENSE_RANK() OVER (ORDER BY o_orderpriority) AS dr FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT l_orderkey, l_linenumber, DENSE_RANK() OVER (PARTITION BY l_returnflag ORDER BY l_quantity) AS dr FROM lineitem ORDER BY l_orderkey, l_linenumber LIMIT 50;
+-- Partition-wide aggregates (no ORDER BY in the window).
+-- plan: BatchWindow
+SELECT c_custkey, COUNT(*) OVER () AS total FROM customer ORDER BY c_custkey;
+SELECT c_custkey, COUNT(*) OVER (PARTITION BY c_mktsegment) AS seg_size FROM customer ORDER BY c_custkey;
+SELECT c_custkey, SUM(c_acctbal) OVER (PARTITION BY c_mktsegment) AS seg_total FROM customer ORDER BY c_custkey;
+SELECT c_custkey, AVG(c_acctbal) OVER (PARTITION BY c_mktsegment) AS seg_mean FROM customer ORDER BY c_custkey;
+SELECT c_custkey, MIN(c_acctbal) OVER (PARTITION BY c_mktsegment) AS seg_lo, MAX(c_acctbal) OVER (PARTITION BY c_mktsegment) AS seg_hi FROM customer ORDER BY c_custkey;
+SELECT o_orderkey, SUM(o_totalprice) OVER (PARTITION BY o_custkey) AS cust_total FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT o_orderkey, COUNT(*) OVER (PARTITION BY o_custkey) AS cust_orders FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT l_orderkey, l_linenumber, SUM(l_quantity) OVER (PARTITION BY l_orderkey) AS order_qty FROM lineitem ORDER BY l_orderkey, l_linenumber LIMIT 50;
+SELECT l_orderkey, l_linenumber, MAX(l_extendedprice) OVER (PARTITION BY l_shipmode) AS mode_max FROM lineitem ORDER BY l_orderkey, l_linenumber LIMIT 50;
+-- Running (peers-inclusive) aggregates: ORDER BY inside the window.
+SELECT o_orderkey, SUM(o_totalprice) OVER (ORDER BY o_orderkey) AS running FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT o_orderkey, COUNT(*) OVER (ORDER BY o_orderkey) AS seen FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT c_custkey, SUM(c_acctbal) OVER (ORDER BY c_custkey) AS running FROM customer ORDER BY c_custkey;
+SELECT c_custkey, MIN(c_acctbal) OVER (ORDER BY c_custkey) AS running_lo FROM customer ORDER BY c_custkey;
+SELECT c_custkey, MAX(c_acctbal) OVER (ORDER BY c_custkey) AS running_hi FROM customer ORDER BY c_custkey;
+SELECT o_orderkey, SUM(o_totalprice) OVER (PARTITION BY o_custkey ORDER BY o_orderdate, o_orderkey) AS cust_running FROM orders ORDER BY o_orderkey;
+SELECT o_orderkey, AVG(o_totalprice) OVER (PARTITION BY o_orderstatus ORDER BY o_orderkey) AS status_mean FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT l_orderkey, l_linenumber, COUNT(*) OVER (PARTITION BY l_orderkey ORDER BY l_linenumber) AS line_seq FROM lineitem ORDER BY l_orderkey, l_linenumber LIMIT 50;
+-- Peers share the running value: a tied ORDER BY key is a single frame step.
+SELECT o_orderkey, SUM(o_totalprice) OVER (ORDER BY o_orderstatus) AS by_status FROM orders ORDER BY o_orderkey LIMIT 40;
+-- Multiple windows in one SELECT.
+SELECT c_custkey, ROW_NUMBER() OVER (ORDER BY c_acctbal DESC, c_custkey) AS rn, SUM(c_acctbal) OVER (PARTITION BY c_mktsegment) AS seg_total FROM customer ORDER BY c_custkey;
+SELECT o_orderkey, RANK() OVER (ORDER BY o_totalprice DESC) AS price_rank, COUNT(*) OVER (PARTITION BY o_orderstatus) AS status_n FROM orders ORDER BY o_orderkey LIMIT 40;
+-- Windows over expressions and with WHERE filtering first.
+SELECT o_orderkey, SUM(o_totalprice) OVER (PARTITION BY YEAR(o_orderdate)) AS year_total FROM orders ORDER BY o_orderkey LIMIT 40;
+SELECT o_orderkey, RANK() OVER (ORDER BY o_totalprice DESC) AS r FROM orders WHERE o_orderstatus = 'O' ORDER BY o_orderkey;
+SELECT c_custkey, ROW_NUMBER() OVER (PARTITION BY c_nationkey ORDER BY c_custkey) AS nation_seq FROM customer WHERE c_acctbal > 0 ORDER BY c_custkey;
+-- Window output consumed by the outer ORDER BY.
+SELECT c_custkey, ROW_NUMBER() OVER (ORDER BY c_acctbal DESC, c_custkey) AS rn FROM customer ORDER BY rn LIMIT 10;
+-- Window over a nullable ORDER BY key: ours sorts NULLs last, sqlite first.
+-- no-oracle: NULL ordering differs from sqlite (NULLs last vs first)
+SELECT id, SUM(v) OVER (ORDER BY v) AS running FROM bucket ORDER BY id;
+SELECT id, COUNT(v) OVER (PARTITION BY grp) AS grp_values FROM bucket WHERE grp IS NOT NULL ORDER BY id;
