@@ -245,6 +245,27 @@ class Shell:
                 f"{registry.counter('txn.statement_rollbacks'):.0f} "
                 "statement rollbacks"
             )
+            out.append(
+                "governance: "
+                f"{registry.counter('governance.statements_timed_out'):.0f} "
+                "timed out, "
+                f"{registry.counter('governance.statements_cancelled'):.0f} "
+                "cancelled, "
+                f"{registry.counter('governance.statements_killed'):.0f} killed, "
+                f"{registry.counter('governance.statements_shed'):.0f} shed"
+            )
+            out.append(
+                "memory: "
+                f"{registry.counter('governance.spills_forced'):.0f} "
+                "spills forced, "
+                f"{registry.counter('governance.budget_rejections'):.0f} "
+                "budget rejections"
+            )
+            from .governance import get_query_registry
+
+            running = get_query_registry().list_running()
+            if running:
+                out.append(f"running queries: {len(running)} (SHOW QUERIES for detail)")
             if self.db.in_transaction:
                 out.append("a transaction is open (COMMIT or ROLLBACK to end it)")
             return out
@@ -351,39 +372,58 @@ def main(argv: list[str] | None = None) -> int:
         durability = args[at + 1]
         del args[at : at + 2]
     if args and args[0] == "serve":
-        # `repro serve <dir> [--port N] [--host H]`: host the database
+        # `repro serve <dir> [--port N] [--host H] [--max-connections N]
+        # [--max-statements N] [--idle-timeout S]`: host the database
         # on a local socket — one session per connection, JSON lines
         # (see repro.server). Blocks until Ctrl-C, then drains.
+        usage = (
+            "usage: python -m repro serve <directory> [--host H] [--port N] "
+            "[--max-connections N] [--max-statements N] [--idle-timeout S]"
+        )
         rest = args[1:]
-        host, port = None, 0
+        host = None
+        numeric = {
+            "--port": 0,
+            "--max-connections": None,
+            "--max-statements": None,
+            "--idle-timeout": None,
+        }
         if "--host" in rest:
             at = rest.index("--host")
             if at + 1 >= len(rest):
-                print("usage: python -m repro serve <directory> [--host H] [--port N]")
+                print(usage)
                 return 2
             host = rest[at + 1]
             del rest[at : at + 2]
-        if "--port" in rest:
-            at = rest.index("--port")
+        for flag in list(numeric):
+            if flag not in rest:
+                continue
+            at = rest.index(flag)
             if at + 1 >= len(rest):
-                print("usage: python -m repro serve <directory> [--host H] [--port N]")
+                print(usage)
                 return 2
+            parse = float if flag == "--idle-timeout" else int
             try:
-                port = int(rest[at + 1])
+                numeric[flag] = parse(rest[at + 1])
             except ValueError:
-                print(f"invalid port {rest[at + 1]!r}")
+                print(f"invalid {flag} value {rest[at + 1]!r}")
                 return 2
             del rest[at : at + 2]
         if len(rest) != 1:
-            print("usage: python -m repro serve <directory> [--host H] [--port N]")
+            print(usage)
             return 2
         from .server import DEFAULT_HOST, serve
+        from .server.server import DEFAULT_MAX_CONNECTIONS, DEFAULT_MAX_STATEMENTS
 
         try:
             return serve(
                 rest[0],
                 host=host or DEFAULT_HOST,
-                port=port,
+                port=numeric["--port"],
+                max_connections=numeric["--max-connections"]
+                or DEFAULT_MAX_CONNECTIONS,
+                max_statements=numeric["--max-statements"] or DEFAULT_MAX_STATEMENTS,
+                idle_timeout=numeric["--idle-timeout"],
                 durability=durability or "group",
             )
         except (ReproError, OSError) as exc:

@@ -29,13 +29,19 @@ from __future__ import annotations
 
 import threading
 
-from ..errors import ConcurrencyError
+from ..errors import ConcurrencyError, LockTimeoutError
+from ..governance.context import current as governance_current
 from ..observability import registry as metrics
 
 # How long acquire() waits before concluding the system is wedged.
 # Generous on purpose: it exists to turn a deadlock bug into a loud
-# ConcurrencyError instead of a hung process, not to time out real work.
+# LockTimeoutError instead of a hung process, not to time out real work.
 DEFAULT_ACQUIRE_TIMEOUT_SECONDS = 60.0
+
+# When the acquiring statement is governed, its lock wait is sliced into
+# short condition waits so a statement_timeout / KILL interrupts the
+# acquire instead of blocking until the lock frees up.
+_GOVERNANCE_POLL_SECONDS = 0.1
 
 
 class ReadWriteLock:
@@ -147,11 +153,29 @@ class ReadWriteLock:
         # loop structure being time-bounded per wait: each wait() call
         # may consume up to the whole budget, which is fine — the point
         # is a bounded, loud failure, not precise accounting.
-        if not self._condition.wait(timeout=budget):
-            raise ConcurrencyError(
-                f"timed out after {self._timeout}s waiting for the {side} lock "
-                "(likely a lock leak or deadlock — see DESIGN.md Concurrency)"
-            )
+        ctx = governance_current()
+        if ctx is None:
+            if not self._condition.wait(timeout=budget):
+                raise LockTimeoutError(
+                    f"timed out after {self._timeout}s waiting for the {side} "
+                    "lock (likely a lock leak or deadlock — see DESIGN.md "
+                    "Concurrency)"
+                )
+            return
+        # Governed statement: slice the wait so deadline / KILL lands
+        # while blocked on the lock, not after finally acquiring it.
+        remaining = budget if budget is not None else threading.TIMEOUT_MAX
+        while True:
+            ctx.check()
+            if self._condition.wait(timeout=min(_GOVERNANCE_POLL_SECONDS, remaining)):
+                return
+            remaining -= _GOVERNANCE_POLL_SECONDS
+            if remaining <= 0:
+                raise LockTimeoutError(
+                    f"timed out after {self._timeout}s waiting for the {side} "
+                    "lock (likely a lock leak or deadlock — see DESIGN.md "
+                    "Concurrency)"
+                )
 
 
 class _Guard:

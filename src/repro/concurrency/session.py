@@ -39,6 +39,7 @@ from typing import Any
 
 from ..errors import ConcurrencyError
 from ..exec.operators.scan import ColumnStoreScan
+from ..governance import governed
 from ..observability import registry as metrics
 from ..sql import ast as A
 from ..sql.runner import make_binder
@@ -93,6 +94,12 @@ class Session:
         # Serializes statements *within* this session; the RW lock
         # coordinates *across* sessions.
         self._statement_lock = threading.RLock()
+        # Session-level governance overlay (SET in this session). A value
+        # of 0 means "explicitly off" and overrides a database default.
+        self._settings: dict[str, int] = {}
+        # Query id of this session's currently-running governed statement
+        # (for cancel_running); None when idle.
+        self._running_query_id: int | None = None
         self.statements = 0
         metrics.increment("concurrency.sessions")
 
@@ -100,7 +107,17 @@ class Session:
     # Public surface
     # ------------------------------------------------------------------ #
     def sql(self, text: str, **options: Any):
-        """Execute one SQL statement with session-level coordination."""
+        """Execute one SQL statement with session-level coordination.
+
+        Queries and DML run under a :class:`~repro.governance.QueryContext`
+        built from the database settings with this session's ``SET``
+        overlay applied — so a deadline or ``KILL`` interrupts the
+        statement even while it waits on the RW lock. Control statements
+        (BEGIN/COMMIT/ROLLBACK, SET, SHOW, KILL) stay ungoverned: KILL
+        must work when everything else is stuck.
+        """
+        from ..sql.runner import run_parsed
+
         with self._statement_lock:
             self._require_open()
             statement = parse_statement(text)  # pure text work: no lock
@@ -109,11 +126,26 @@ class Session:
                 return self._run_begin()
             if isinstance(statement, (A.CommitStatement, A.RollbackStatement)):
                 return self._run_txn_end(statement)
-            if self._in_txn:
-                return self._run_in_txn(statement, options)
-            if isinstance(statement, _READ_ONLY_STATEMENTS):
-                return self._run_read(statement, options)
-            return self._run_write(statement, options)
+            if isinstance(statement, A.SetStatement):
+                return self._run_set(statement)
+            if isinstance(statement, A.ShowStatement):
+                return self._run_show(statement, options)
+            if isinstance(statement, A.KillStatement):
+                # Registry-only; no catalog state touched.
+                return run_parsed(self._db, statement, **options)
+            ctx = self._db.new_query_context(
+                sql=text, session=self.name, settings=self._settings
+            )
+            self._running_query_id = ctx.query_id
+            try:
+                with governed(ctx):
+                    if self._in_txn:
+                        return self._run_in_txn(statement, options)
+                    if isinstance(statement, _READ_ONLY_STATEMENTS):
+                        return self._run_read(statement, options)
+                    return self._run_write(statement, options)
+            finally:
+                self._running_query_id = None
 
     @property
     def in_transaction(self) -> bool:
@@ -152,9 +184,53 @@ class Session:
         state = "closed" if self._closed else ("in-txn" if self._in_txn else "idle")
         return f"<Session {self.name} {state} statements={self.statements}>"
 
+    def cancel_running(self) -> bool:
+        """Cancel this session's in-flight statement (from another thread).
+
+        Returns True when a governed statement was running and its
+        context was flagged; the statement raises QueryCancelledError at
+        its next cooperative checkpoint.
+        """
+        from ..governance import get_query_registry
+
+        query_id = self._running_query_id
+        if query_id is None:
+            return False
+        return get_query_registry().cancel(query_id)
+
     # ------------------------------------------------------------------ #
     # Statement routes
     # ------------------------------------------------------------------ #
+    def _run_set(self, statement) -> None:
+        """``SET`` scoped to this session (overlay over the database).
+
+        ``SET x = DEFAULT`` (None) removes the overlay entry; explicit
+        0 is *stored* as 0 so a session can switch a database-wide
+        setting off for itself.
+        """
+        # Validate the name without mutating database state.
+        self._db.get_setting(statement.name)
+        if statement.value is None:
+            self._settings.pop(statement.name.lower(), None)
+        else:
+            self._settings[statement.name.lower()] = max(0, int(statement.value))
+        return None
+
+    def _run_show(self, statement, options: dict[str, Any]):
+        """``SHOW``: session-overlay settings win over database values."""
+        from ..sql.runner import run_parsed
+
+        name = statement.name.lower()
+        if name != "queries" and name in self._settings:
+            from ..db.database import Result
+            from ..types import BIGINT
+
+            self._db.get_setting(name)  # validate
+            return Result(
+                columns=[name], dtypes=[BIGINT], rows=[(self._settings[name],)]
+            )
+        return run_parsed(self._db, statement, **options)
+
     def _run_read(self, statement, options: dict[str, Any]):
         """SELECT/EXPLAIN outside a transaction: snapshot-pinned read.
 

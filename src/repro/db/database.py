@@ -18,7 +18,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
 
-from ..errors import CatalogError, PlanningError, StorageError, TxnError
+from ..errors import BindingError, CatalogError, PlanningError, StorageError, TxnError
+from ..governance import QueryContext, get_query_registry, governed
+from ..governance import context as governance
 from ..exec.expressions import Column, Expr
 from ..exec.operators.scan import ColumnStoreScan
 from ..exec.row_engine import RID_COLUMN, RowTableScan
@@ -94,6 +96,9 @@ class Database:
         # is the LSN of its TXN_BEGIN marker.
         self._txn: TxnContext | None = None
         self._next_txn_id = 1
+        # Governance settings (statement_timeout / query_memory_budget /
+        # query_memory_limit); sessions overlay their own on top.
+        self.settings: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Write-ahead logging plumbing
@@ -573,6 +578,62 @@ class Database:
         return rows
 
     # ------------------------------------------------------------------ #
+    # Governance (settings + query contexts)
+    # ------------------------------------------------------------------ #
+    _SETTING_NAMES = ("statement_timeout", "query_memory_budget", "query_memory_limit")
+
+    def set_setting(self, name: str, value: int | None) -> None:
+        """Set a governance setting (``SET name = value``).
+
+        ``statement_timeout`` is milliseconds; the memory settings are
+        bytes. ``None`` (SET ... = DEFAULT / OFF) clears the setting.
+        Zero and negative values also clear — "0 = disabled" matches the
+        usual server convention for statement_timeout.
+        """
+        name = name.lower()
+        if name not in self._SETTING_NAMES:
+            raise BindingError(
+                f"unknown setting {name!r} (expected one of "
+                f"{', '.join(self._SETTING_NAMES)})"
+            )
+        if value is None or value <= 0:
+            self.settings.pop(name, None)
+        else:
+            self.settings[name] = int(value)
+
+    def get_setting(self, name: str) -> int | None:
+        name = name.lower()
+        if name not in self._SETTING_NAMES:
+            raise BindingError(
+                f"unknown setting {name!r} (expected one of "
+                f"{', '.join(self._SETTING_NAMES)})"
+            )
+        return self.settings.get(name)
+
+    def new_query_context(
+        self,
+        sql: str = "",
+        session: str | None = None,
+        settings: dict[str, int] | None = None,
+    ) -> QueryContext:
+        """A registered-id :class:`QueryContext` for one statement.
+
+        ``settings`` (a session overlay) wins over the database-level
+        settings; both fall back to "no limit" when unset.
+        """
+        effective = dict(self.settings)
+        if settings:
+            effective.update(settings)
+        return QueryContext(
+            get_query_registry().next_query_id(),
+            sql=sql,
+            session=session,
+            timeout_ms=effective.get("statement_timeout"),
+            memory_budget_bytes=effective.get("query_memory_budget"),
+            memory_limit_bytes=effective.get("query_memory_limit"),
+        )
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def scan_plan(self, table: str, columns: list[str] | None = None) -> LogicalScan:
@@ -595,9 +656,21 @@ class Database:
         collection and the returned :class:`Result` carries an
         :class:`~repro.observability.ExecutionStats` handle — collection
         never changes the produced rows, only observes them.
+
+        Plans run under a :class:`~repro.governance.QueryContext` — the
+        database's ``statement_timeout`` / memory settings apply, and the
+        statement appears in ``SHOW QUERIES`` until it finishes. When a
+        context is already active (a session governs its statements, or a
+        subquery executes inside an outer statement) the outer context
+        keeps governing and no new one is created.
         """
-        physical, dtypes = self._prepare(plan, **options)
-        return self._run_physical(physical, dtypes, stats=stats)
+        if governance.current() is not None:
+            physical, dtypes = self._prepare(plan, **options)
+            return self._run_physical(physical, dtypes, stats=stats)
+        ctx = self.new_query_context(sql=f"<plan:{type(plan).__name__}>")
+        with governed(ctx):
+            physical, dtypes = self._prepare(plan, **options)
+            return self._run_physical(physical, dtypes, stats=stats)
 
     def _prepare(self, plan: LogicalNode, **options: Any):
         """Compile a logical plan and resolve output dtypes (no execution).
@@ -628,10 +701,32 @@ class Database:
         )
 
     def sql(self, text: str, **options: Any) -> Result | None:
-        """Execute a SQL statement; queries return a :class:`Result`."""
-        from ..sql.runner import run_statement
+        """Execute a SQL statement; queries return a :class:`Result`.
 
-        return run_statement(self, text, **options)
+        Queries and DML run under a fresh :class:`QueryContext` (unless
+        one is already active); transaction control, SET/SHOW/KILL and
+        DDL are control-plane statements and stay ungoverned — KILL must
+        work even when the system is saturated with governed statements.
+        """
+        from ..sql import ast as A
+        from ..sql.parser import parse_statement
+        from ..sql.runner import run_parsed
+
+        statement = parse_statement(text)
+        ungoverned = (
+            A.BeginStatement,
+            A.CommitStatement,
+            A.RollbackStatement,
+            A.SetStatement,
+            A.ShowStatement,
+            A.KillStatement,
+            A.CreateTableStatement,
+            A.DropTableStatement,
+        )
+        if governance.current() is not None or isinstance(statement, ungoverned):
+            return run_parsed(self, statement, **options)
+        with governed(self.new_query_context(sql=text)):
+            return run_parsed(self, statement, **options)
 
     def explain(self, text_or_plan: str | LogicalNode, **options: Any) -> str:
         """The optimized logical + physical plan as text."""

@@ -10,7 +10,27 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro engine."""
+    """Base class for all errors raised by the repro engine.
+
+    ``retryable`` partitions the taxonomy for clients: transient
+    conditions (admission rejection, lock-acquire timeout, cancellation,
+    resource exhaustion) are safe to retry after a backoff, while
+    semantic failures (syntax, binding, constraint violations) will fail
+    the same way every time.
+    """
+
+    retryable = False
+
+
+class RetryableError(ReproError):
+    """A transient failure: the same statement may succeed if retried.
+
+    The server surfaces ``retryable`` in error payloads and
+    :class:`~repro.server.ServerClient` retries these classes with
+    jittered exponential backoff.
+    """
+
+    retryable = True
 
 
 class SchemaError(ReproError):
@@ -108,6 +128,53 @@ class ConcurrencyError(ReproError):
     """
 
 
+class LockTimeoutError(RetryableError, ConcurrencyError):
+    """A reader/writer lock acquisition exceeded its timeout budget.
+
+    Retryable: the holder usually finishes (or is itself killed) soon
+    after; catching plain :class:`ConcurrencyError` still works for
+    callers that predate the split.
+    """
+
+
+class QueryCancelledError(RetryableError):
+    """The statement was cancelled at a cooperative checkpoint.
+
+    Raised when a client requested cancel on its own statement. The
+    statement's effects are rolled back through the undo machinery, so
+    retrying is safe — hence retryable.
+    """
+
+    def __init__(self, message: str, query_id: int | None = None) -> None:
+        super().__init__(message)
+        self.query_id = query_id
+
+
+class QueryKilledError(QueryCancelledError):
+    """The statement was killed by another session via ``KILL <id>``."""
+
+
+class QueryTimeoutError(ReproError):
+    """The statement exceeded its ``statement_timeout`` deadline.
+
+    Deliberately *not* retryable: re-running the same statement with the
+    same timeout will usually time out again — the client should raise
+    the timeout or change the query, not hammer the server.
+    """
+
+    def __init__(self, message: str, query_id: int | None = None) -> None:
+        super().__init__(message)
+        self.query_id = query_id
+
+
+class AdmissionError(RetryableError):
+    """The server shed this request: too many connections or statements.
+
+    Pure load shedding — nothing executed, so a retry after backoff is
+    always safe.
+    """
+
+
 class CatalogError(ReproError):
     """Unknown or duplicate table / column / index name."""
 
@@ -152,6 +219,15 @@ class ExecutionError(ReproError):
 
 class SpillBudgetError(ExecutionError):
     """An operator exceeded its memory grant and spilling was disabled."""
+
+
+class ResourceExhaustedError(RetryableError, ExecutionError):
+    """A hard memory cap (per-query or process-wide) was exceeded.
+
+    Raised instead of letting an oversized operator OOM the process.
+    Retryable: concurrent queries release their reservations as they
+    finish, so the same statement may fit on a later attempt.
+    """
 
 
 class ConstraintError(ReproError):

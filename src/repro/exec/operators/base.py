@@ -5,6 +5,7 @@ from __future__ import annotations
 import abc
 from typing import Iterator
 
+from ...governance.context import governed_batches
 from ...observability.opstats import OperatorStats, instrument_batches, operator_stats
 from ..batch import Batch
 
@@ -17,15 +18,17 @@ class BatchOperator(abc.ABC):
 
     Every concrete ``batches`` implementation is wrapped at class-creation
     time with the observability instrumented iterator, so all operators
-    carry runtime counters (:attr:`op_stats`) without per-operator edits.
-    The wrapper costs one flag read when stats collection is off.
+    carry runtime counters (:attr:`op_stats`) without per-operator edits,
+    and with the governance checkpoint wrapper, so every operator is a
+    cancellation point for the statement's QueryContext. Each wrapper
+    costs one flag/thread-local read when its feature is off.
     """
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         batches = cls.__dict__.get("batches")
         if batches is not None and not getattr(batches, "_instrumented", False):
-            cls.batches = instrument_batches(batches)
+            cls.batches = instrument_batches(governed_batches(batches))
 
     @property
     @abc.abstractmethod

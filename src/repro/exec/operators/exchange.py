@@ -19,6 +19,7 @@ import threading
 from typing import Iterator
 
 from ...errors import ExecutionError
+from ...governance import context as governance
 from ..batch import Batch
 from .base import BatchOperator
 
@@ -67,6 +68,11 @@ class BatchExchange(BatchOperator):
             return
         out: queue.Queue = queue.Queue(maxsize=_QUEUE_SIZE * len(self.children))
         cancel = threading.Event()
+        # The governing QueryContext is thread-local; capture it on the
+        # consumer thread (this generator body runs at first next(), with
+        # the context active) and re-activate it inside each worker so
+        # the workers' own operator wrappers keep hitting checkpoints.
+        ctx = governance.current()
         # Appends are GIL-atomic; errors[0] is the first error that landed
         # anywhere, and it is raised with its original traceback.
         errors: list[BaseException] = []
@@ -82,6 +88,11 @@ class BatchExchange(BatchOperator):
             each worker responsive to the cancel event.
             """
             while not cancel.is_set():
+                if ctx is not None:
+                    # A worker parked on a full queue must still honor
+                    # kill/timeout; the raise lands in the worker's
+                    # except, which records it and cancels the siblings.
+                    ctx.check()
                 try:
                     out.put(batch, timeout=_CANCEL_POLL_SECONDS)
                     return True
@@ -91,9 +102,10 @@ class BatchExchange(BatchOperator):
 
         def worker(child: BatchOperator) -> None:
             try:
-                for batch in child.batches():
-                    if not cancellable_put(batch):
-                        return
+                with governance.activate(ctx):
+                    for batch in child.batches():
+                        if not cancellable_put(batch):
+                            return
             except BaseException as exc:
                 errors.append(exc)
                 # Fail fast: siblings stop at their next queue poll
@@ -124,6 +136,11 @@ class BatchExchange(BatchOperator):
             while True:
                 if errors:
                     break
+                if ctx is not None:
+                    # Consumer-side checkpoint: raises out of the
+                    # generator, and the finally below cancels + reaps
+                    # every worker before the error propagates.
+                    ctx.check()
                 try:
                     item = out.get(timeout=_CANCEL_POLL_SECONDS)
                 except queue.Empty:

@@ -23,6 +23,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ...governance.context import checkpoint as governance_checkpoint
 from ...observability import registry as metrics
 from ...storage.columnstore import DELTA, GROUP, ColumnStoreIndex, RowLocator, ScanUnit
 from ...storage.encodings import Scheme
@@ -135,6 +136,11 @@ class ColumnStoreScan(BatchOperator):
             for ordinal, unit in enumerate(source):
                 if self.shard is not None and ordinal % self.shard[1] != self.shard[0]:
                     continue
+                # Per-unit checkpoint: an eliminated or fully filtered
+                # unit yields nothing, so the per-batch governance
+                # wrapper alone would let a selective scan run far past
+                # its deadline between emissions.
+                governance_checkpoint()
                 self.stats.units_seen += 1
                 if unit.kind == GROUP:
                     yield from self._scan_group(unit)

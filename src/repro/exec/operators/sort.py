@@ -1,14 +1,24 @@
-"""Batch-mode sort and TOP-N operators."""
+"""Batch-mode sort and TOP-N operators.
+
+Sort is grant-aware: given a :class:`~repro.exec.memory.MemoryGrant`, it
+buffers input only while reservations succeed and otherwise degrades to
+an external merge sort — sorted runs written to spill files, then a
+stable k-way merge. Without a grant it buffers everything, the original
+behavior.
+"""
 
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 import numpy as np
 
 from ...errors import ExecutionError
 from ..batch import DEFAULT_BATCH_SIZE, Batch, concat_batches, slice_into_batches
+from ..memory import MemoryGrant, batch_bytes
+from ..spill import SpillFile
 from .base import BatchOperator
 
 
@@ -77,12 +87,25 @@ def _stabilize_descending(values: np.ndarray, order: np.ndarray) -> np.ndarray:
     return result
 
 
+@dataclass
+class SortStats:
+    """Spill accounting (picked up by EXPLAIN ANALYZE via ``stats``)."""
+
+    runs_spilled: int = 0
+    spill_bytes: int = 0
+
+
 class BatchSort(BatchOperator):
     """Full sort: consumes the child, sorts, re-emits in batches.
 
     ``keys`` is a list of (column, descending) pairs. NULLs sort last in
     ascending order (SQL Server sorts them first; documented divergence
     kept consistent across both engines).
+
+    With a memory grant, input that exceeds the budget is sorted in
+    chunks written to spill files and k-way merged; the merge is stable
+    (runs are fed to ``heapq.merge`` in input-chunk order, and equal keys
+    prefer earlier iterables), matching the in-memory stable sort.
     """
 
     def __init__(
@@ -90,12 +113,15 @@ class BatchSort(BatchOperator):
         child: BatchOperator,
         keys: list[tuple[str, bool]],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        grant: MemoryGrant | None = None,
     ) -> None:
         if not keys:
             raise ExecutionError("sort requires at least one key")
         self.child = child
         self.keys = list(keys)
         self.batch_size = batch_size
+        self.grant = grant
+        self.stats = SortStats()
 
     @property
     def output_names(self) -> list[str]:
@@ -109,18 +135,107 @@ class BatchSort(BatchOperator):
         return [self.child]
 
     def batches(self) -> Iterator[Batch]:
-        merged = concat_batches(list(self.child.batches()))
-        if merged is None:
-            return
+        grant = self.grant
+        buffered: list[Batch] = []
+        reserved = 0
+        runs: list[SpillFile] = []
+        try:
+            for batch in self.child.batches():
+                dense = batch.compact()
+                if dense.row_count == 0:
+                    continue
+                need = batch_bytes(dense.columns)
+                if grant is not None and not grant.try_reserve(need):
+                    # Budget exhausted: flush what we hold as one sorted
+                    # run, free its reservation, and retry this batch.
+                    if buffered:
+                        self._spill_run(buffered, runs)
+                        buffered = []
+                        grant.release(reserved)
+                        reserved = 0
+                    if not grant.try_reserve(need):
+                        # A single batch larger than the whole budget:
+                        # it forms a (sorted) run of its own, unreserved.
+                        self._spill_run([dense], runs)
+                        continue
+                    reserved += need
+                elif grant is not None:
+                    reserved += need
+                buffered.append(dense)
+            if runs:
+                if buffered:
+                    self._spill_run(buffered, runs)
+                    buffered = []
+                    if grant is not None:
+                        grant.release(reserved)
+                        reserved = 0
+                yield from self._merge_runs(runs)
+                return
+            merged = concat_batches(buffered)
+            if merged is None:
+                return
+            yield from slice_into_batches(self._sorted(merged), self.batch_size)
+        finally:
+            if grant is not None and reserved:
+                grant.release(reserved)
+            for run in runs:
+                run.close()
+
+    def _sorted(self, merged: Batch) -> Batch:
         indices = _sort_indices(merged, self.keys)
-        sorted_batch = Batch(
+        return Batch(
             columns={n: a[indices] for n, a in merged.columns.items()},
             null_masks={
                 n: (m[indices] if m is not None else None)
                 for n, m in merged.null_masks.items()
             },
         )
-        yield from slice_into_batches(sorted_batch, self.batch_size)
+
+    def _spill_run(self, buffered: list[Batch], runs: list[SpillFile]) -> None:
+        merged = concat_batches(buffered)
+        if merged is None:
+            return
+        run = SpillFile()
+        runs.append(run)
+        run.append(self._sorted(merged))
+        self.stats.runs_spilled += 1
+        self.stats.spill_bytes += run.bytes_written
+
+    def _merge_runs(self, runs: list[SpillFile]) -> Iterator[Batch]:
+        names = self.output_names
+        key_pos = [names.index(n) for n, _ in self.keys]
+        flags = [d for _, d in self.keys]
+        dtypes: dict[str, np.dtype] = {}
+
+        def run_rows(run: SpillFile):
+            for batch in run.read_back():
+                for name, arr in batch.columns.items():
+                    dtypes.setdefault(name, arr.dtype)
+                yield from batch.to_rows()
+
+        def sort_key(row: tuple) -> tuple:
+            return tuple(
+                _heap_component(row[i], d) for i, d in zip(key_pos, flags)
+            )
+
+        pending: list[tuple] = []
+        # heapq.merge prefers earlier iterables on equal keys; runs are
+        # passed in input-chunk order, so the merged order matches what
+        # the stable in-memory sort would have produced.
+        for row in heapq.merge(*(run_rows(r) for r in runs), key=sort_key):
+            pending.append(row)
+            if len(pending) >= self.batch_size:
+                yield self._rows_batch(names, pending, dtypes)
+                pending = []
+        if pending:
+            yield self._rows_batch(names, pending, dtypes)
+
+    @staticmethod
+    def _rows_batch(
+        names: list[str], rows: list[tuple], dtypes: dict[str, np.dtype]
+    ) -> Batch:
+        data = {name: [row[i] for row in rows] for i, name in enumerate(names)}
+        return Batch.from_pydict(data, dtypes=dtypes)
 
 
 class BatchTop(BatchOperator):

@@ -14,11 +14,16 @@ any) reorders afterwards, so batch and row mode agree row for row.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+import numpy as np
+
 from ...errors import ExecutionError
 from ..batch import DEFAULT_BATCH_SIZE, Batch, concat_batches, slice_into_batches
+from ..memory import MemoryGrant, batch_bytes
+from ..spill import SpillFile, partition_of
 from .base import BatchOperator
 from .hash_aggregate import COUNT_STAR
 from .sort import _NullsLast
@@ -151,22 +156,49 @@ def _aggregate_partition(
             out[i] = current
 
 
+@dataclass
+class WindowStats:
+    """Spill accounting (picked up by EXPLAIN ANALYZE via ``stats``)."""
+
+    partitions_spilled: int = 0
+    spill_bytes: int = 0
+
+
+# Ordinal column threaded through window spill files so the k-way merge
+# can restore the operator's input-order output contract.
+_SEQ = "__window_seq__"
+_SPILL_PARTITIONS = 8
+
+
 class BatchWindow(BatchOperator):
     """Materializing window operator: consumes the child, computes every
     spec per partition, re-emits input-ordered batches with the window
-    columns appended."""
+    columns appended.
+
+    With a memory grant, an input that exceeds the budget degrades to
+    hash-partitioned spilling when every spec shares at least one
+    partition-by column: rows are routed to spill files by that column
+    (equal full partition keys always co-locate), each file is processed
+    independently, and outputs are merged back into input order by a
+    threaded sequence number. Specs with no common partition column
+    (e.g. an unpartitioned running total needs the whole input) keep
+    buffering in memory — documented best-effort.
+    """
 
     def __init__(
         self,
         child: BatchOperator,
         specs: list[WindowSpec],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        grant: MemoryGrant | None = None,
     ) -> None:
         if not specs:
             raise ExecutionError("window requires at least one spec")
         self.child = child
         self.specs = list(specs)
         self.batch_size = batch_size
+        self.grant = grant
+        self.stats = WindowStats()
 
     @property
     def output_names(self) -> list[str]:
@@ -179,8 +211,57 @@ class BatchWindow(BatchOperator):
     def child_operators(self) -> list[BatchOperator]:
         return [self.child]
 
+    def _common_partition_column(self) -> str | None:
+        """A partition-by column shared by *every* spec, or None."""
+        common = set(self.specs[0].partition_by)
+        for spec in self.specs[1:]:
+            common &= set(spec.partition_by)
+        return min(common) if common else None
+
     def batches(self) -> Iterator[Batch]:
-        merged = concat_batches(list(self.child.batches()))
+        grant = self.grant
+        route_on = self._common_partition_column()
+        buffered: list[Batch] = []
+        reserved = 0
+        overflow: Batch | None = None
+        source = self.child.batches()
+        try:
+            for batch in source:
+                dense = batch.compact()
+                if dense.row_count == 0:
+                    continue
+                need = batch_bytes(dense.columns)
+                if (
+                    grant is not None
+                    and route_on is not None
+                    and not grant.try_reserve(need)
+                ):
+                    overflow = dense
+                    break
+                if grant is not None and route_on is not None:
+                    reserved += need
+                buffered.append(dense)
+            if overflow is not None:
+                # Everything moves to disk; the in-memory reservation is
+                # returned before per-partition processing begins.
+                try:
+                    yield from self._spill_path(
+                        route_on, buffered, overflow, source
+                    )
+                finally:
+                    if grant is not None and reserved:
+                        grant.release(reserved)
+                return
+            yield from self._in_memory(buffered)
+        finally:
+            if grant is not None and reserved and overflow is None:
+                grant.release(reserved)
+
+    # ------------------------------------------------------------------ #
+    # In-memory path (original behavior)
+    # ------------------------------------------------------------------ #
+    def _in_memory(self, buffered: list[Batch]) -> Iterator[Batch]:
+        merged = concat_batches(buffered)
         if merged is None:
             return
         names = merged.names
@@ -193,3 +274,114 @@ class BatchWindow(BatchOperator):
                 spec.name, column.columns[spec.name], column.null_masks[spec.name]
             )
         yield from slice_into_batches(batch, self.batch_size)
+
+    # ------------------------------------------------------------------ #
+    # Spill path
+    # ------------------------------------------------------------------ #
+    def _spill_path(
+        self,
+        route_on: str,
+        buffered: list[Batch],
+        overflow: Batch,
+        source: Iterator[Batch],
+    ) -> Iterator[Batch]:
+        child_names = self.child.output_names
+        in_files = [SpillFile() for _ in range(_SPILL_PARTITIONS)]
+        out_files = [SpillFile() for _ in range(_SPILL_PARTITIONS)]
+        dtypes: dict[str, np.dtype] = {}
+        try:
+            seq = 0
+            for dense in (*buffered, overflow):
+                seq = self._route_batch(dense, route_on, in_files, seq, dtypes)
+            for batch in source:
+                dense = batch.compact()
+                if dense.row_count:
+                    seq = self._route_batch(dense, route_on, in_files, seq, dtypes)
+            out_names = [*child_names, *(s.name for s in self.specs), _SEQ]
+            for in_file, out_file in zip(in_files, out_files):
+                if in_file.rows == 0:
+                    continue
+                self.stats.partitions_spilled += 1
+                rows: list[dict[str, Any]] = []
+                for batch in in_file.read_back():
+                    for values in batch.to_rows():
+                        rows.append(dict(zip(batch.names, values)))
+                in_file.close()
+                computed = compute_window_columns(rows, self.specs)
+                for spec in self.specs:
+                    values = computed[spec.name]
+                    for i, row in enumerate(rows):
+                        row[spec.name] = values[i]
+                for start in range(0, len(rows), self.batch_size):
+                    chunk = rows[start : start + self.batch_size]
+                    out_file.append(
+                        Batch.from_pydict(
+                            {n: [r[n] for r in chunk] for n in out_names},
+                            dtypes=dtypes,
+                        )
+                    )
+                self.stats.spill_bytes += in_file.bytes_written
+                self.stats.spill_bytes += out_file.bytes_written
+
+            def partition_rows(out_file: SpillFile):
+                for batch in out_file.read_back():
+                    names = batch.names
+                    seq_pos = names.index(_SEQ)
+                    for values in batch.to_rows():
+                        yield values[seq_pos], names, values
+
+            out_names_no_seq = out_names[:-1]
+            pending: list[dict[str, Any]] = []
+            streams = [partition_rows(f) for f in out_files if f.rows]
+            for _, names, values in heapq.merge(*streams, key=lambda e: e[0]):
+                row = dict(zip(names, values))
+                pending.append(row)
+                if len(pending) >= self.batch_size:
+                    yield self._emit_rows(pending, out_names_no_seq, dtypes)
+                    pending = []
+            if pending:
+                yield self._emit_rows(pending, out_names_no_seq, dtypes)
+        finally:
+            for f in (*in_files, *out_files):
+                f.close()
+
+    def _route_batch(
+        self,
+        dense: Batch,
+        route_on: str,
+        in_files: list[SpillFile],
+        seq: int,
+        dtypes: dict[str, np.dtype],
+    ) -> int:
+        for name, arr in dense.columns.items():
+            dtypes.setdefault(name, arr.dtype)
+        n = dense.row_count
+        ids = partition_of(dense.column(route_on), _SPILL_PARTITIONS)
+        mask = dense.null_mask(route_on)
+        if mask is not None:
+            # NULL routing keys must co-locate regardless of the filler
+            # value under the mask (fillers are not canonical).
+            ids = ids.copy()
+            ids[mask] = 0
+        tagged = dense.with_column(
+            _SEQ, np.arange(seq, seq + n, dtype=np.int64)
+        )
+        for p in range(_SPILL_PARTITIONS):
+            sel = np.flatnonzero(ids == p)
+            if sel.size:
+                in_files[p].append(
+                    Batch(
+                        columns=tagged.columns,
+                        null_masks=tagged.null_masks,
+                        selection=sel,
+                    )
+                )
+        return seq + n
+
+    @staticmethod
+    def _emit_rows(
+        rows: list[dict[str, Any]], names: list[str], dtypes: dict[str, np.dtype]
+    ) -> Batch:
+        return Batch.from_pydict(
+            {n: [r[n] for r in rows] for n in names}, dtypes=dtypes
+        )

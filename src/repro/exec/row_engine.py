@@ -17,6 +17,8 @@ import heapq
 from typing import Any, Iterator
 
 from ..errors import ExecutionError
+from ..governance.context import checkpoint as governance_checkpoint
+from ..governance.context import governed_rows
 from ..observability.opstats import OperatorStats, instrument_rows, operator_stats
 from ..rowstore.table import RowStoreTable
 from ..storage.columnstore import ColumnStoreIndex
@@ -29,20 +31,26 @@ from .operators.window import WindowSpec, compute_window_columns
 
 RID_COLUMN = "__rid__"
 
+# Source scans re-check governance every this many *scanned* rows (the
+# emission wrappers only see rows that survive the predicate).
+_SCAN_CHECK_INTERVAL = 256
+
 
 class RowOperator(abc.ABC):
     """A pull-based tuple-at-a-time operator.
 
     Like :class:`BatchOperator`, every concrete ``rows`` implementation is
     wrapped with the observability instrumented iterator at class-creation
-    time, so batch-vs-row comparisons report runtime stats on both sides.
+    time, so batch-vs-row comparisons report runtime stats on both sides —
+    and with the governance wrapper, so a governed statement hits a
+    cancellation checkpoint every few dozen emitted rows.
     """
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         rows = cls.__dict__.get("rows")
         if rows is not None and not getattr(rows, "_instrumented", False):
-            cls.rows = instrument_rows(rows)
+            cls.rows = instrument_rows(governed_rows(rows))
 
     @property
     @abc.abstractmethod
@@ -99,7 +107,12 @@ class RowTableScan(RowOperator):
     def rows(self) -> Iterator[dict[str, Any]]:
         names = self._all_names
         predicate = self.predicate
-        for rid, row in self.table.scan():
+        # Checkpoint on *scanned* rows, not emitted ones: a selective
+        # predicate can reject thousands of rows between yields, and the
+        # emission-side governance wrapper never runs while we filter.
+        for scanned, (rid, row) in enumerate(self.table.scan()):
+            if scanned % _SCAN_CHECK_INTERVAL == 0:
+                governance_checkpoint()
             row_map = dict(zip(names, row))
             if predicate is not None and not predicate_true(predicate, row_map):
                 continue
@@ -153,7 +166,9 @@ class RowIndexSeek(RowOperator):
         predicate = self.predicate
         low_key = (self.low,) if self.low is not None else None
         high_key = (self.high,) if self.high is not None else None
-        for rid in self.index.seek_range(low_key, high_key):
+        for scanned, rid in enumerate(self.index.seek_range(low_key, high_key)):
+            if scanned % _SCAN_CHECK_INTERVAL == 0:
+                governance_checkpoint()
             row = self.table.get(rid)
             if row is None:
                 continue
@@ -195,7 +210,9 @@ class RowColumnStoreScan(RowOperator):
     def rows(self) -> Iterator[dict[str, Any]]:
         names = self._all_names
         predicate = self.predicate
-        for row in self.index._iter_live_rows():
+        for scanned, row in enumerate(self.index._iter_live_rows()):
+            if scanned % _SCAN_CHECK_INTERVAL == 0:
+                governance_checkpoint()
             row_map = dict(zip(names, row))
             if predicate is not None and not predicate_true(predicate, row_map):
                 continue

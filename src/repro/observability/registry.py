@@ -73,6 +73,13 @@ STABLE_COUNTERS = (
     "concurrency.snapshot_pins",
     "concurrency.pinned_statements",
     "concurrency.locked_statements",
+    "governance.statements_timed_out",
+    "governance.statements_cancelled",
+    "governance.statements_killed",
+    "governance.statements_shed",
+    "governance.spills_forced",
+    "governance.budget_rejections",
+    "server.drain_killed",
 )
 
 

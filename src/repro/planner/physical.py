@@ -126,6 +126,9 @@ class PhysicalBuilder:
         self.dop = dop
 
     def _new_grant(self) -> MemoryGrant:
+        # The grant binds itself to the active QueryContext (if any), so
+        # per-query soft budgets force spilling and hard caps raise even
+        # when the explicit grant_bytes default would have fit.
         if self.grant_bytes is None:
             return MemoryGrant()
         return MemoryGrant(self.grant_bytes)
@@ -281,13 +284,19 @@ class PhysicalBuilder:
     def _build_window(self, node: LogicalWindow) -> PhysResult:
         child = self.build(node.child)
         if child.mode == BATCH:
-            return PhysResult(BATCH, BatchWindow(child.op, node.specs, self.batch_size))
+            op = BatchWindow(
+                child.op, node.specs, self.batch_size, grant=self._new_grant()
+            )
+            return PhysResult(BATCH, op)
         return PhysResult(ROW, RowWindow(child.op, node.specs))
 
     def _build_sort(self, node: LogicalSort) -> PhysResult:
         child = self.build(node.child)
         if child.mode == BATCH:
-            return PhysResult(BATCH, BatchSort(child.op, node.keys, self.batch_size))
+            op = BatchSort(
+                child.op, node.keys, self.batch_size, grant=self._new_grant()
+            )
+            return PhysResult(BATCH, op)
         return PhysResult(ROW, RowSort(child.op, node.keys))
 
     def _build_limit(self, node: LogicalLimit) -> PhysResult:

@@ -1,5 +1,5 @@
 """Embedded server: the concurrency layer over a local socket."""
 
-from .server import DEFAULT_HOST, ReproServer, ServerClient, serve
+from .server import DEFAULT_HOST, ReproServer, ServerClient, ServerError, serve
 
-__all__ = ["DEFAULT_HOST", "ReproServer", "ServerClient", "serve"]
+__all__ = ["DEFAULT_HOST", "ReproServer", "ServerClient", "ServerError", "serve"]

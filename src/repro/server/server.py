@@ -20,22 +20,43 @@ connection rolls its open transaction back.
 
 Shutdown is graceful: the listener closes immediately, idle
 connections are disconnected, and connections mid-statement finish and
-send their response before closing (drain, bounded by a timeout).
+send their response before closing (drain, bounded by a timeout). A
+connection still running when the drain budget expires is severed and
+counted in the ``server.drain_killed`` metric.
+
+The server also applies **admission control**: beyond
+``max_connections`` concurrent clients (plus a bounded listen backlog)
+new connections are turned away with a retryable ``AdmissionError``
+payload, and beyond ``max_statements`` concurrently-executing
+statements a request is shed the same way instead of queueing without
+bound. Every error payload carries ``retryable`` so clients know
+whether backing off and retrying can succeed —
+:class:`ServerClient.sql` does exactly that with jittered exponential
+backoff.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import random
 import socket
 import threading
+import time
 from typing import Any
 
 from ..errors import ConcurrencyError, ReproError
 from .. import __version__ as _version
 from ..concurrency import ConcurrentDatabase
+from ..observability import registry as metrics
+
+logger = logging.getLogger("repro.server")
 
 DEFAULT_HOST = "127.0.0.1"
 SHUTDOWN_DRAIN_SECONDS = 30.0
+DEFAULT_MAX_CONNECTIONS = 64
+DEFAULT_MAX_STATEMENTS = 16
+DEFAULT_LISTEN_BACKLOG = 16
 
 
 def _encode(payload: dict[str, Any]) -> bytes:
@@ -52,6 +73,12 @@ def _result_payload(result) -> dict[str, Any]:
         "rows": rows,
         "rowcount": len(rows),
     }
+
+
+def _error_payload(error: str, kind: str, retryable: bool) -> dict[str, Any]:
+    """An error response; ``retryable`` tells the client a backoff-and-
+    retry can succeed (shed, lock timeout, cancelled — not syntax errors)."""
+    return {"ok": False, "error": error, "kind": kind, "retryable": retryable}
 
 
 class _Connection:
@@ -94,16 +121,29 @@ class _Connection:
             request = json.loads(line)
             sql = request["sql"]
         except (ValueError, KeyError, TypeError) as exc:
-            return {"ok": False, "error": f"bad request: {exc}", "kind": "Protocol"}
+            return _error_payload(f"bad request: {exc}", "Protocol", retryable=False)
+        if not self.server._statement_slots.acquire(blocking=False):
+            # Statement-level admission: at max_statements concurrent
+            # executions, shed instead of queueing without bound.
+            metrics.increment("governance.statements_shed")
+            return _error_payload(
+                f"server at max_statements={self.server.max_statements} "
+                "concurrent statements — retry with backoff",
+                "AdmissionError",
+                retryable=True,
+            )
         self.busy.set()
         try:
             return _result_payload(self.session.sql(sql))
         except ReproError as exc:
-            return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+            return _error_payload(
+                str(exc), type(exc).__name__, retryable=bool(exc.retryable)
+            )
         except Exception as exc:  # engine bug — report, keep serving
-            return {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+            return _error_payload(str(exc), type(exc).__name__, retryable=False)
         finally:
             self.busy.clear()
+            self.server._statement_slots.release()
 
     def close(self) -> None:
         try:
@@ -123,6 +163,10 @@ class ReproServer:
         cdb: ConcurrentDatabase,
         host: str = DEFAULT_HOST,
         port: int = 0,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        max_statements: int = DEFAULT_MAX_STATEMENTS,
+        idle_timeout: float | None = None,
+        listen_backlog: int = DEFAULT_LISTEN_BACKLOG,
     ) -> None:
         self.cdb = cdb
         self.host = host
@@ -133,6 +177,14 @@ class ReproServer:
         self._accept_thread: threading.Thread | None = None
         self._connections: set[_Connection] = set()
         self._conn_lock = threading.Lock()
+        # Admission control: connection cap, statement cap, and a bounded
+        # accept backlog so overload turns into fast sheds, not queues.
+        self.max_connections = max(1, int(max_connections))
+        self.max_statements = max(1, int(max_statements))
+        self.idle_timeout = idle_timeout
+        self._listen_backlog = max(1, int(listen_backlog))
+        self._statement_slots = threading.Semaphore(self.max_statements)
+        self.drain_killed = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -142,7 +194,7 @@ class ReproServer:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self._requested_port))
-        listener.listen()
+        listener.listen(self._listen_backlog)
         self._listener = listener
         self.port = listener.getsockname()[1]
         self._accept_thread = threading.Thread(
@@ -158,11 +210,35 @@ class ReproServer:
                 sock, _addr = self._listener.accept()
             except OSError:
                 break  # listener closed: shutdown
+            if self.connection_count >= self.max_connections:
+                # Connection-level admission: answer with a retryable
+                # shed instead of letting the client hang in the backlog.
+                metrics.increment("governance.statements_shed")
+                try:
+                    sock.sendall(
+                        _encode(
+                            _error_payload(
+                                f"server at max_connections={self.max_connections}"
+                                " — retry with backoff",
+                                "AdmissionError",
+                                retryable=True,
+                            )
+                        )
+                    )
+                except OSError:
+                    pass
+                sock.close()
+                continue
             try:
                 session = self.cdb.session()
             except ConcurrencyError:
                 sock.close()  # database closing underneath us
                 break
+            if self.idle_timeout is not None:
+                # Bounds both idle reads and stuck writes: a connection
+                # that neither sends nor drains for this long is dropped
+                # (its session rolls back in close()).
+                sock.settimeout(self.idle_timeout)
             connection = _Connection(self, sock, session)
             with self._conn_lock:
                 if self.stopping:
@@ -230,8 +306,22 @@ class ReproServer:
                 thread.join(timeout=step)
                 deadline -= step
             if thread.is_alive():
-                # Drain budget exhausted: sever the socket; the handler
-                # dies on its next I/O and the session rolls back.
+                # Drain budget exhausted: cancel the in-flight statement
+                # (it unwinds at its next governance checkpoint) and
+                # sever the socket; the handler dies on its next I/O and
+                # the session rolls back. Count it — a nonzero
+                # server.drain_killed after shutdown means clients lost
+                # in-flight work.
+                self.drain_killed += 1
+                metrics.increment("server.drain_killed")
+                logger.warning(
+                    "drain expired: killing connection %s mid-statement",
+                    connection.session.name,
+                )
+                try:
+                    connection.session.cancel_running()
+                except Exception:
+                    pass
                 try:
                     connection.sock.close()
                 except OSError:
@@ -247,14 +337,29 @@ class ReproServer:
         self.shutdown()
 
 
-def serve(path: str, host: str = DEFAULT_HOST, port: int = 0, **open_kwargs: Any):
+def serve(
+    path: str,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    max_connections: int = DEFAULT_MAX_CONNECTIONS,
+    max_statements: int = DEFAULT_MAX_STATEMENTS,
+    idle_timeout: float | None = None,
+    **open_kwargs: Any,
+):
     """Open the database at ``path`` and serve it until interrupted.
 
     The CLI entry point (``repro serve <dir>``). Blocks; Ctrl-C drains
     and closes. Returns the exit code.
     """
     cdb = ConcurrentDatabase.open(path, **open_kwargs)
-    server = ReproServer(cdb, host=host, port=port)
+    server = ReproServer(
+        cdb,
+        host=host,
+        port=port,
+        max_connections=max_connections,
+        max_statements=max_statements,
+        idle_timeout=idle_timeout,
+    )
     bound = server.start()
     print(f"repro {_version} serving {path!r} on {host}:{bound} (Ctrl-C to stop)")
     try:
@@ -268,12 +373,41 @@ def serve(path: str, host: str = DEFAULT_HOST, port: int = 0, **open_kwargs: Any
     return 0
 
 
-class ServerClient:
-    """Tiny test/tooling client for the JSON-lines protocol."""
+class ServerError(RuntimeError):
+    """An error response from the server, with its kind and retryability."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(self, kind: str, message: str, retryable: bool = False) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.retryable = retryable
+
+
+class ServerClient:
+    """Tiny test/tooling client for the JSON-lines protocol.
+
+    ``connect_timeout`` bounds only the TCP connect; ``timeout`` bounds
+    each response read (they used to be one knob, which made a slow
+    query indistinguishable from an unreachable server). ``retries``
+    makes :meth:`sql` retry *retryable* error responses (admission
+    sheds, lock timeouts) with jittered exponential backoff.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        # From here on the socket timeout governs reads/writes, not the
+        # (usually much shorter) connect budget.
+        self._sock.settimeout(timeout)
         self._reader = self._sock.makefile("rb")
+        self._retries = max(0, int(retries))
+        self._backoff = backoff
 
     def request(self, sql: str) -> dict[str, Any]:
         """Send one statement; return the raw response payload."""
@@ -284,13 +418,28 @@ class ServerClient:
         return json.loads(line)
 
     def sql(self, sql: str) -> dict[str, Any]:
-        """Send one statement; raise on an error response."""
-        response = self.request(sql)
-        if not response.get("ok"):
-            raise RuntimeError(
-                f"{response.get('kind', 'Error')}: {response.get('error')}"
-            )
-        return response
+        """Send one statement; raise :class:`ServerError` on failure.
+
+        Retryable failures (shed by admission control, lock timeouts)
+        are retried up to ``retries`` times with jittered exponential
+        backoff before the error surfaces.
+        """
+        attempt = 0
+        while True:
+            response = self.request(sql)
+            if response.get("ok"):
+                return response
+            retryable = bool(response.get("retryable"))
+            if not retryable or attempt >= self._retries:
+                raise ServerError(
+                    response.get("kind", "Error"),
+                    str(response.get("error")),
+                    retryable=retryable,
+                )
+            # Full jitter: sleep uniformly within the doubled window so
+            # shed clients don't retry in lockstep.
+            time.sleep(random.uniform(0, self._backoff * (2**attempt)))
+            attempt += 1
 
     def close(self) -> None:
         try:

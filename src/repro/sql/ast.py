@@ -248,6 +248,33 @@ class RollbackStatement:
 
 
 @dataclass
+class SetStatement:
+    """``SET <name> = <int>`` / ``SET <name> TO <int>`` session setting.
+
+    ``value`` is None for ``SET <name> = DEFAULT`` (and OFF / NULL),
+    which clears the setting back to the database default. Recognized
+    names are validated by the runner, not the parser.
+    """
+
+    name: str
+    value: int | None
+
+
+@dataclass
+class ShowStatement:
+    """``SHOW QUERIES`` (running statements) or ``SHOW <setting>``."""
+
+    name: str
+
+
+@dataclass
+class KillStatement:
+    """``KILL <query_id>`` — request termination of a running statement."""
+
+    query_id: int
+
+
+@dataclass
 class ExplainStatement:
     """``EXPLAIN [ANALYZE] SELECT ...`` — plan text, optionally executed
     with runtime stats collection."""

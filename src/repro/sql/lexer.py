@@ -17,6 +17,7 @@ KEYWORDS = {
     "begin", "commit", "rollback", "start", "transaction", "work",
     "with", "recursive", "over", "partition",
     "union", "intersect", "except",
+    "show", "kill",
 }
 
 # Multi-character operators first so they win over single-char prefixes.

@@ -28,9 +28,12 @@ from .ast import (
     ExplainStatement,
     InsertStatement,
     JoinClause,
+    KillStatement,
     RollbackStatement,
     SelectItem,
     SelectStatement,
+    SetStatement,
+    ShowStatement,
     SqlExpr,
     TableRef,
     UpdateStatement,
@@ -135,6 +138,12 @@ class Parser:
             statement = self.parse_txn_end("commit", CommitStatement)
         elif token.is_keyword("rollback"):
             statement = self.parse_txn_end("rollback", RollbackStatement)
+        elif token.is_keyword("set"):
+            statement = self.parse_set()
+        elif token.is_keyword("show"):
+            statement = self.parse_show()
+        elif token.is_keyword("kill"):
+            statement = self.parse_kill()
         else:
             raise self._error(f"unexpected token {token.text!r}", token)
         self.accept_op(";")
@@ -142,6 +151,45 @@ class Parser:
         if tail.kind != "eof":
             raise self._error(f"trailing input {tail.text!r}", tail)
         return statement
+
+    def parse_set(self) -> SetStatement:
+        """``SET <name> = <int>`` / ``SET <name> TO <int>``.
+
+        The value may be an integer literal, or DEFAULT / OFF / NULL to
+        clear the setting (parsed as None).
+        """
+        self.expect_keyword("set")
+        name = self.expect_ident().lower()
+        # "TO" is not a reserved word; accept it as an ident alternative
+        # to "=" the way PostgreSQL does.
+        token = self.peek()
+        if token.kind == "ident" and token.text.lower() == "to":
+            self.advance()
+        else:
+            self.expect_op("=")
+        token = self.advance()
+        if token.kind == "number" and "." not in token.text:
+            return SetStatement(name=name, value=int(token.text))
+        if token.is_keyword("null") or (
+            token.kind == "ident" and token.text.lower() in ("default", "off")
+        ):
+            return SetStatement(name=name, value=None)
+        raise self._error(
+            "SET expects an integer value, DEFAULT, or OFF", token
+        )
+
+    def parse_show(self) -> ShowStatement:
+        """``SHOW QUERIES`` or ``SHOW <setting>``."""
+        self.expect_keyword("show")
+        return ShowStatement(name=self.expect_ident().lower())
+
+    def parse_kill(self) -> KillStatement:
+        """``KILL <query_id>``."""
+        self.expect_keyword("kill")
+        token = self.advance()
+        if token.kind != "number" or "." in token.text:
+            raise self._error("KILL expects an integer query id", token)
+        return KillStatement(query_id=int(token.text))
 
     def parse_begin(self) -> BeginStatement:
         """``BEGIN [TRANSACTION | WORK]`` or ``START TRANSACTION``."""

@@ -79,6 +79,13 @@ def run_parsed(db, statement: Any, **options: Any):
     if isinstance(statement, A.RollbackStatement):
         db.rollback()
         return None
+    if isinstance(statement, A.SetStatement):
+        db.set_setting(statement.name, statement.value)
+        return None
+    if isinstance(statement, A.ShowStatement):
+        return _run_show(db, statement)
+    if isinstance(statement, A.KillStatement):
+        return _run_kill(db, statement)
     raise SqlSyntaxError(f"unsupported statement {type(statement).__name__}")
 
 
@@ -113,6 +120,56 @@ def _affected(db, count: int):
     from ..db.database import Result
 
     return Result(columns=["rows_affected"], dtypes=[BIGINT], rows=[(count,)])
+
+
+def _run_show(db, statement: A.ShowStatement):
+    """``SHOW QUERIES`` (registry listing) or ``SHOW <setting>``."""
+    from ..db.database import Result
+    from ..governance import get_query_registry
+
+    if statement.name == "queries":
+        rows = []
+        for ctx in get_query_registry().list_running():
+            info = ctx.describe()
+            rows.append(
+                (
+                    info["query_id"],
+                    info["session"] or "",
+                    info["state"],
+                    float(info["elapsed_ms"]),
+                    info["timeout_ms"] if info["timeout_ms"] is not None else 0,
+                    info["reserved_bytes"],
+                    info["sql"],
+                )
+            )
+        return Result(
+            columns=[
+                "query_id",
+                "session",
+                "state",
+                "elapsed_ms",
+                "timeout_ms",
+                "reserved_bytes",
+                "sql",
+            ],
+            dtypes=[BIGINT, VARCHAR, VARCHAR, FLOAT, BIGINT, BIGINT, VARCHAR],
+            rows=rows,
+        )
+    value = db.get_setting(statement.name)
+    return Result(
+        columns=[statement.name],
+        dtypes=[BIGINT],
+        rows=[(value if value is not None else 0,)],
+    )
+
+
+def _run_kill(db, statement: A.KillStatement):
+    """``KILL <id>``: returns 1 row with killed=1/0 (0 = not running)."""
+    from ..db.database import Result
+    from ..governance import get_query_registry
+
+    killed = get_query_registry().kill(statement.query_id)
+    return Result(columns=["killed"], dtypes=[BIGINT], rows=[(int(killed),)])
 
 
 def _run_create_table(db, statement: A.CreateTableStatement) -> None:

@@ -1,0 +1,244 @@
+"""Chaos harness, engine level: random governance faults under load.
+
+Several writer sessions hammer disjoint tables (plus a shared read-only
+table) while a chaos thread injects timeouts, cancels, KILLs and
+undersized memory budgets. The harness asserts the governance
+invariants the PR promises:
+
+* every statement terminates in exactly one classified state —
+  ok / timed-out / cancelled / shed / resource-exhausted;
+* no leaked threads (``threading.enumerate()`` returns to baseline);
+* no leaked governance state (registry empty, governor at zero);
+* the surviving database state is *bit-identical* to a chaos-free
+  replay of exactly the statements that committed — a statement that
+  timed out or was killed mid-write must have rolled back completely;
+* the state passes an offline integrity check after save.
+
+``REPRO_CHAOS_SEED`` selects the fault schedule (CI sweeps several).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+from repro import Database
+from repro.concurrency import ConcurrentDatabase
+from repro.errors import (
+    AdmissionError,
+    LockTimeoutError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+)
+from repro.governance import get_memory_governor, get_query_registry
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+WRITERS = 4
+STATEMENTS_PER_WRITER = 30
+
+SLOW_READ = (
+    "SELECT s1.a FROM shared s1 JOIN shared s2 ON s1.b = s2.b ORDER BY s1.a"
+)
+
+
+def classify(exc: BaseException | None) -> str | None:
+    """Map a statement outcome onto the five governed terminal states."""
+    if exc is None:
+        return "ok"
+    if isinstance(exc, QueryTimeoutError):
+        return "timed_out"
+    if isinstance(exc, QueryCancelledError):  # includes QueryKilledError
+        return "cancelled"
+    if isinstance(exc, ResourceExhaustedError):
+        return "resource_exhausted"
+    if isinstance(exc, (AdmissionError, LockTimeoutError)):
+        return "shed"
+    return None  # unclassified — the harness fails on these
+
+
+def fingerprint(db: Database, tables: list[str]) -> dict[str, list[tuple]]:
+    """Sorted full contents per table — the bit-identity witness."""
+    return {
+        table: sorted(db.sql(f"SELECT * FROM {table}").rows) for table in tables
+    }
+
+
+class _Writer(threading.Thread):
+    """One chaos participant: owns table ``w{i}``, mixes DML and reads."""
+
+    def __init__(self, cdb: ConcurrentDatabase, index: int, seed: int) -> None:
+        super().__init__(name=f"chaos-writer-{index}")
+        self.cdb = cdb
+        self.index = index
+        self.table = f"w{index}"
+        self.rng = random.Random(seed)
+        self.committed: list[str] = []  # statements that returned ok
+        self.outcomes: dict[str, int] = {}
+        self.failures: list[BaseException] = []
+        self.session = None
+
+    def run(self) -> None:
+        try:
+            with self.cdb.session(f"chaos-{self.index}") as session:
+                self.session = session
+                for n in range(STATEMENTS_PER_WRITER):
+                    self._one_statement(session, n)
+                self.session = None
+        except BaseException as exc:  # session-level failure: harness bug
+            self.failures.append(exc)
+
+    def _one_statement(self, session, n: int) -> None:
+        rng = self.rng
+        # Fault injection: occasionally run under a tiny timeout or an
+        # undersized memory budget/limit for just this statement.
+        fault = rng.random()
+        if fault < 0.15:
+            session.sql(f"SET statement_timeout = {rng.choice([1, 2, 5])}")
+        elif fault < 0.25:
+            session.sql(f"SET query_memory_limit = {rng.choice([512, 2048])}")
+        elif fault < 0.35:
+            session.sql("SET query_memory_budget = 4096")
+        statement = self._pick_statement(n)
+        exc = None
+        try:
+            session.sql(statement)
+        except BaseException as caught:
+            exc = caught
+        outcome = classify(exc)
+        if outcome is None:
+            self.failures.append(exc)
+            outcome = "unclassified"
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        if outcome == "ok" and not statement.lstrip().upper().startswith("SELECT"):
+            self.committed.append(statement)
+        # Clear the fault for the next statement.
+        session.sql("SET statement_timeout = DEFAULT")
+        session.sql("SET query_memory_limit = DEFAULT")
+        session.sql("SET query_memory_budget = DEFAULT")
+        time.sleep(rng.uniform(0, 0.002))
+
+    def _pick_statement(self, n: int) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.45:
+            values = ", ".join(
+                f"({n * 100 + k}, {rng.randrange(10)})" for k in range(rng.randrange(1, 20))
+            )
+            return f"INSERT INTO {self.table} VALUES {values}"
+        if roll < 0.55:
+            return (
+                f"UPDATE {self.table} SET b = b + 1 "
+                f"WHERE a % {rng.randrange(2, 5)} = 0"
+            )
+        if roll < 0.75:
+            return SLOW_READ
+        return f"SELECT count(*) FROM {self.table}"
+
+
+class _Chaos(threading.Thread):
+    """Random cancels and KILLs against whatever happens to be running."""
+
+    def __init__(self, db: Database, writers: list[_Writer], seed: int) -> None:
+        super().__init__(name="chaos-injector")
+        self.db = db
+        self.writers = writers
+        self.rng = random.Random(seed)
+        self.stop = threading.Event()
+
+    def run(self) -> None:
+        while not self.stop.is_set():
+            roll = self.rng.random()
+            if roll < 0.4:
+                writer = self.rng.choice(self.writers)
+                session = writer.session
+                if session is not None:
+                    try:
+                        session.cancel_running()
+                    except Exception:
+                        pass
+            elif roll < 0.7:
+                running = get_query_registry().list_running()
+                if running:
+                    self.db.sql(f"KILL {self.rng.choice(running).query_id}")
+            time.sleep(self.rng.uniform(0.001, 0.01))
+
+
+def test_chaos_engine_invariants():
+    baseline_threads = set(threading.enumerate())
+    rng = random.Random(SEED)
+
+    db = Database()
+    db.sql("CREATE TABLE shared (a INT, b INT)")
+    db.sql(
+        "INSERT INTO shared VALUES "
+        + ", ".join(f"({i}, {i % 7})" for i in range(1200))
+    )
+    tables = []
+    for i in range(WRITERS):
+        db.sql(f"CREATE TABLE w{i} (a INT, b INT)")
+        tables.append(f"w{i}")
+
+    cdb = ConcurrentDatabase(db)
+    writers = [_Writer(cdb, i, seed=rng.randrange(2**31)) for i in range(WRITERS)]
+    chaos = _Chaos(db, writers, seed=rng.randrange(2**31))
+    for writer in writers:
+        writer.start()
+    chaos.start()
+    for writer in writers:
+        writer.join(timeout=120.0)
+    chaos.stop.set()
+    chaos.join(timeout=10.0)
+
+    # 1. No harness-level failures, no unclassified outcome, all alive.
+    for writer in writers:
+        assert not writer.is_alive(), f"{writer.name} hung"
+        assert not writer.failures, (
+            f"{writer.name} hit unclassified outcomes: "
+            + "; ".join(repr(f) for f in writer.failures)
+        )
+    assert not chaos.is_alive()
+    total = {}
+    for writer in writers:
+        for outcome, count in writer.outcomes.items():
+            total[outcome] = total.get(outcome, 0) + count
+    assert sum(total.values()) == WRITERS * STATEMENTS_PER_WRITER
+    assert set(total) <= {"ok", "timed_out", "cancelled", "shed", "resource_exhausted"}
+    assert total.get("ok", 0) > 0  # chaos must not have starved everything
+
+    # 2. No leaked governance state.
+    assert len(get_query_registry()) == 0
+    assert get_memory_governor().reserved_bytes == 0
+
+    # 3. Bit-identical to a chaos-free replay of the committed statements.
+    survived = fingerprint(db, tables)
+    replay = Database()
+    for i in range(WRITERS):
+        replay.sql(f"CREATE TABLE w{i} (a INT, b INT)")
+    for writer in writers:
+        for statement in writer.committed:
+            replay.sql(statement)
+    replayed = fingerprint(replay, tables)
+    assert survived == replayed, "chaos survivor diverged from clean replay"
+
+    # 4. Offline integrity check of the saved survivor state.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "chaos-db")
+        db.save(path)
+        report = Database.check(path)
+        assert report.ok, "\n".join(report.render())
+
+    cdb.close()
+
+    # 5. No leaked threads once sessions and pools wind down.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leaked = set(threading.enumerate()) - baseline_threads
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked, f"leaked threads: {[t.name for t in leaked]}"

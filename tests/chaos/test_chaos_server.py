@@ -1,0 +1,187 @@
+"""Chaos harness, server level: sheds, kills and dropped connections.
+
+Clients hammer a small-capacity server (tight ``max_statements``) over
+real sockets while randomly dropping their connections mid-statement
+and KILLing each other's queries. The server must classify every
+response, survive every disconnect, shut down cleanly, and leak
+neither threads nor sessions.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+from repro.concurrency import ConcurrentDatabase
+from repro.governance import get_memory_governor, get_query_registry
+from repro.server import ReproServer, ServerClient
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 15
+
+SLOW_READ = (
+    "SELECT s1.a FROM shared s1 JOIN shared s2 ON s1.b = s2.b ORDER BY s1.a"
+)
+TERMINAL_KINDS = {
+    "ok",
+    "QueryTimeoutError",
+    "QueryCancelledError",
+    "QueryKilledError",
+    "ResourceExhaustedError",
+    "AdmissionError",
+    "LockTimeoutError",
+    "dropped",  # we severed our own connection mid-statement
+}
+
+
+class _Client(threading.Thread):
+    def __init__(self, port: int, index: int, seed: int) -> None:
+        super().__init__(name=f"chaos-client-{index}")
+        self.port = port
+        self.index = index
+        self.rng = random.Random(seed)
+        self.outcomes: dict[str, int] = {}
+        self.failures: list[str] = []
+
+    def run(self) -> None:
+        client = None
+        try:
+            for n in range(REQUESTS_PER_CLIENT):
+                if client is None:
+                    client = ServerClient("127.0.0.1", self.port, retries=0)
+                kind = self._one_request(client, n)
+                if kind == "dropped":
+                    client.close()
+                    client = None
+                self.outcomes[kind] = self.outcomes.get(kind, 0) + 1
+                if kind not in TERMINAL_KINDS:
+                    self.failures.append(kind)
+                time.sleep(self.rng.uniform(0, 0.005))
+        except ConnectionError:
+            # The server shed our *connection* (max_connections); that is
+            # a legitimate terminal state for the remaining requests.
+            self.outcomes["AdmissionError"] = (
+                self.outcomes.get("AdmissionError", 0) + 1
+            )
+        except Exception as exc:  # harness bug
+            self.failures.append(repr(exc))
+        finally:
+            if client is not None:
+                client.close()
+
+    def _one_request(self, client: ServerClient, n: int) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.1:
+            sql = f"SET statement_timeout = {rng.choice([1, 5])}"
+        elif roll < 0.15:
+            sql = "SET statement_timeout = DEFAULT"
+        elif roll < 0.25:
+            sql = f"INSERT INTO c{self.index} VALUES ({n}, {rng.randrange(5)})"
+        elif roll < 0.65:
+            sql = SLOW_READ
+        else:
+            sql = f"SELECT count(*) FROM c{self.index}"
+        # Sometimes drop the connection instead of reading the response:
+        # the server must roll the statement back and reap the session.
+        if rng.random() < 0.1:
+            try:
+                client._sock.sendall((f'{{"sql": "{sql}"}}\n').encode())
+            except OSError:
+                pass
+            return "dropped"
+        try:
+            response = client.request(sql)
+        except (ConnectionError, OSError):
+            return "dropped"
+        if response.get("ok"):
+            return "ok"
+        return response.get("kind", "unknown")
+
+
+class _Killer(threading.Thread):
+    """KILLs random running queries through its own connection."""
+
+    def __init__(self, port: int, seed: int) -> None:
+        super().__init__(name="chaos-killer")
+        self.port = port
+        self.rng = random.Random(seed)
+        self.stop = threading.Event()
+
+    def run(self) -> None:
+        try:
+            client = ServerClient("127.0.0.1", self.port, retries=0)
+        except Exception:
+            return
+        try:
+            while not self.stop.is_set():
+                try:
+                    rows = client.request("SHOW QUERIES").get("rows") or []
+                    if rows and self.rng.random() < 0.5:
+                        client.request(f"KILL {self.rng.choice(rows)[0]}")
+                except (ConnectionError, OSError):
+                    return
+                time.sleep(self.rng.uniform(0.002, 0.02))
+        finally:
+            client.close()
+
+
+def test_chaos_server_invariants():
+    baseline_threads = set(threading.enumerate())
+    rng = random.Random(SEED)
+
+    cdb = ConcurrentDatabase()
+    with cdb.session("setup") as session:
+        session.sql("CREATE TABLE shared (a INT, b INT)")
+        session.sql(
+            "INSERT INTO shared VALUES "
+            + ", ".join(f"({i}, {i % 7})" for i in range(1000))
+        )
+        for i in range(CLIENTS):
+            session.sql(f"CREATE TABLE c{i} (a INT, b INT)")
+
+    server = ReproServer(cdb, max_statements=2, idle_timeout=30.0)
+    port = server.start()
+
+    clients = [_Client(port, i, seed=rng.randrange(2**31)) for i in range(CLIENTS)]
+    killer = _Killer(port, seed=rng.randrange(2**31))
+    for client in clients:
+        client.start()
+    killer.start()
+    for client in clients:
+        client.join(timeout=120.0)
+    killer.stop.set()
+    killer.join(timeout=30.0)
+
+    for client in clients:
+        assert not client.is_alive(), f"{client.name} hung"
+        assert not client.failures, f"{client.name}: {client.failures}"
+    total: dict[str, int] = {}
+    for client in clients:
+        for kind, count in client.outcomes.items():
+            total[kind] = total.get(kind, 0) + count
+    assert set(total) <= TERMINAL_KINDS, total
+    assert total.get("ok", 0) > 0
+
+    # The server still answers after all that.
+    probe = ServerClient("127.0.0.1", port)
+    assert probe.sql("SELECT count(*) FROM shared")["rows"] == [[1000]]
+    probe.close()
+
+    server.shutdown()
+    assert server.connection_count == 0
+    cdb.close()
+
+    assert len(get_query_registry()) == 0
+    assert get_memory_governor().reserved_bytes == 0
+
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leaked = set(threading.enumerate()) - baseline_threads
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked, f"leaked threads: {[t.name for t in leaked]}"

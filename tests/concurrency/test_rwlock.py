@@ -152,3 +152,84 @@ class TestMisuse:
         run_in_thread(blocked).join(timeout=5.0)
         assert error and "timed out" in str(error[0])
         lock.release_write()
+
+
+class TestAcquireTimeoutTyping:
+    """Lock-wait expiry surfaces as a *typed, retryable* error and the
+    wait counters advance — clients can distinguish "back off and retry"
+    from a real concurrency bug (satellite of the governance PR)."""
+
+    def test_read_timeout_is_typed_and_retryable(self):
+        from repro.errors import LockTimeoutError, RetryableError
+        from repro.observability import registry as metrics
+
+        before = metrics.get_registry().counter("concurrency.read_waits")
+        lock = ReadWriteLock(timeout=0.1)
+        lock.acquire_write()
+        error = []
+
+        def blocked():
+            try:
+                lock.acquire_read()
+            except ConcurrencyError as exc:
+                error.append(exc)
+
+        run_in_thread(blocked).join(timeout=5.0)
+        lock.release_write()
+        assert error
+        assert isinstance(error[0], LockTimeoutError)
+        assert isinstance(error[0], RetryableError)  # clients may retry
+        assert isinstance(error[0], ConcurrencyError)  # old catchers still work
+        assert error[0].retryable is True
+        after = metrics.get_registry().counter("concurrency.read_waits")
+        assert after >= before + 1
+
+    def test_write_timeout_is_typed_and_retryable(self):
+        from repro.errors import LockTimeoutError
+        from repro.observability import registry as metrics
+
+        before = metrics.get_registry().counter("concurrency.write_waits")
+        lock = ReadWriteLock(timeout=0.1)
+        lock.acquire_read()
+        error = []
+
+        def blocked():
+            try:
+                lock.acquire_write()
+            except ConcurrencyError as exc:
+                error.append(exc)
+
+        run_in_thread(blocked).join(timeout=5.0)
+        lock.release_read()
+        assert error
+        assert isinstance(error[0], LockTimeoutError)
+        assert error[0].retryable is True
+        after = metrics.get_registry().counter("concurrency.write_waits")
+        assert after >= before + 1
+
+    def test_governed_wait_interrupted_by_deadline(self):
+        """A statement blocked on the lock honors its deadline: the wait
+        is sliced, so the timeout lands while *waiting*, not after."""
+        import time as _time
+
+        from repro.errors import QueryTimeoutError
+        from repro.governance import QueryContext, activate
+
+        lock = ReadWriteLock(timeout=30.0)  # lock budget far beyond test
+        lock.acquire_write()
+        error = []
+
+        def blocked():
+            ctx = QueryContext(1, timeout_ms=200)
+            try:
+                with activate(ctx):
+                    lock.acquire_read()
+            except QueryTimeoutError as exc:
+                error.append(exc)
+
+        started = _time.monotonic()
+        run_in_thread(blocked).join(timeout=10.0)
+        elapsed = _time.monotonic() - started
+        lock.release_write()
+        assert error and isinstance(error[0], QueryTimeoutError)
+        assert elapsed < 5.0  # nowhere near the 30s lock budget
