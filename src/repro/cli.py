@@ -261,6 +261,17 @@ class Shell:
                 f"{registry.counter('governance.budget_rejections'):.0f} "
                 "budget rejections"
             )
+            oldest = registry.gauge("mvcc.oldest_active_epoch")
+            out.append(
+                "mvcc: "
+                f"{registry.counter('mvcc.versions_installed'):.0f} "
+                "versions installed, "
+                f"{registry.counter('mvcc.versions_gced'):.0f} gced, "
+                f"{registry.counter('mvcc.lockfree_reads'):.0f} lock-free reads, "
+                f"{registry.counter('mvcc.reader_pins'):.0f} reader pins, "
+                "oldest active epoch "
+                f"{oldest if oldest is not None else 0:.0f}"
+            )
             from .governance import get_query_registry
 
             running = get_query_registry().list_running()

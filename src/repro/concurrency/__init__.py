@@ -1,14 +1,26 @@
-"""Multi-session concurrency layer: snapshot reads, serialized writes.
+"""Multi-session concurrency layer: lock-free MVCC reads, latched writes.
 
-See DESIGN.md "Concurrency" for the model. Public surface:
+See DESIGN.md "Concurrency" and "Multi-versioning" for the model.
+Public surface:
 
 * :class:`ConcurrentDatabase` — shared-database coordinator.
 * :class:`Session` — one client's view (snapshot reads, owned txns).
-* :class:`ReadWriteLock` — the writer-preference lock both use.
+* :class:`ReadWriteLock` — the writer-preference lock for exclusive
+  operations (DDL, explicit transactions, maintenance, save).
+* :class:`TableWriteLatch` / :class:`TableLatches` — per-table writer
+  mutexes letting disjoint-table writers proceed concurrently.
 """
 
 from .database import ConcurrentDatabase
+from .latch import TableLatches, TableWriteLatch
 from .rwlock import ReadWriteLock
 from .session import Session, pin_plan
 
-__all__ = ["ConcurrentDatabase", "ReadWriteLock", "Session", "pin_plan"]
+__all__ = [
+    "ConcurrentDatabase",
+    "ReadWriteLock",
+    "Session",
+    "TableLatches",
+    "TableWriteLatch",
+    "pin_plan",
+]

@@ -19,6 +19,7 @@ from typing import Any
 
 from ..db.database import Database
 from ..errors import ConcurrencyError
+from .latch import TableLatches
 from .rwlock import ReadWriteLock
 from .session import Session
 
@@ -36,6 +37,10 @@ class ConcurrentDatabase:
     def __init__(self, db: Database | None = None) -> None:
         self.db = db if db is not None else Database()
         self.lock = ReadWriteLock()
+        # Per-table write latches: columnstore auto-commit DML holds the
+        # shared lock side + its table's latch, so writers on disjoint
+        # tables proceed concurrently (DESIGN.md "Multi-versioning").
+        self.latches = TableLatches()
         self._sessions: dict[str, Session] = {}
         self._registry_lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -61,7 +66,9 @@ class ConcurrentDatabase:
                 name = f"session-{next(self._ids)}"
             if name in self._sessions:
                 raise ConcurrencyError(f"session name {name!r} is already in use")
-            session = Session(name, self.db, self.lock, on_close=self._forget)
+            session = Session(
+                name, self.db, self.lock, on_close=self._forget, latches=self.latches
+            )
             self._sessions[name] = session
             return session
 
@@ -109,6 +116,17 @@ class ConcurrentDatabase:
     def save(self, path: str, disk=None, force: bool = False) -> None:
         with self.lock.write_locked():
             self.db.save(path, disk=disk, force=force)
+
+    def vacuum(self, table: str | None = None) -> dict[str, int]:
+        """Free MVCC versions no registered reader can see.
+
+        Takes the exclusive side like other maintenance — not because
+        vacuum needs it for correctness (retire/capture atomicity is
+        the index's own mutex), but so the freed counts it reports are
+        not racing in-flight latch writers.
+        """
+        with self.lock.write_locked():
+            return self.db.vacuum(table)
 
     # ------------------------------------------------------------------ #
     # Shutdown

@@ -1,21 +1,28 @@
-"""One client's view of a shared Database: snapshot reads, serialized writes.
+"""One client's view of a shared Database: lock-free snapshot reads,
+per-table-latched writes.
 
 A :class:`Session` classifies each SQL statement and routes it through
-the database-wide :class:`~repro.concurrency.rwlock.ReadWriteLock`:
+the MVCC layer (:mod:`repro.mvcc`), the database-wide
+:class:`~repro.concurrency.rwlock.ReadWriteLock`, and the per-table
+:class:`~repro.concurrency.latch.TableWriteLatch` registry:
 
-* **Reads** (SELECT) take the shared side only long enough to parse,
-  bind, compile and *pin* the plan — capture every column-store scan's
-  row-group list, materialized delete masks and frozen delta copies
-  (:meth:`ColumnStoreIndex.pin_scan_units`). Then the lock is released
-  and execution runs lock-free against the pinned snapshot: row groups
-  are immutable and every mutation path swaps in new objects, so the
-  pinned view stays internally consistent no matter what writers commit
-  meanwhile. Plans with unpinnable leaves (row-store scans and index
-  seeks read mutable B-trees in place) execute entirely under the
-  shared lock instead — correct, just less concurrent.
+* **Reads** (SELECT) take **no lock at all**. The session registers a
+  reader lease at the latest committed epoch (one mutex-protected
+  counter read), binds and compiles, then pins every columnstore scan
+  leaf to the structures visible at that epoch
+  (:meth:`ColumnStoreIndex.pin_scan_units`) and executes against the
+  pinned snapshot. Writers never block readers and readers never block
+  writers. Plans with leaves that read *row-store* structures in place
+  (heap scans, index seeks) execute under the shared lock instead —
+  row-store writers still take the exclusive side, so the shared lock
+  is exactly what excludes them.
 
-* **Writes** (INSERT/UPDATE/DELETE/DDL) take the exclusive side for the
-  statement, funneling into the existing WAL/undo path unchanged.
+* **Columnstore auto-commit DML** takes the shared side of the database
+  lock (it must not overlap DDL / explicit transactions / maintenance /
+  save) plus its table's write latch — so independent writers on
+  disjoint tables proceed concurrently, serializing only per table.
+  Rowstore and BOTH-storage DML, and all DDL, take the exclusive side
+  as before.
 
 * **Transaction control**: BEGIN acquires the exclusive side and holds
   it until COMMIT/ROLLBACK, so an explicit transaction serializes the
@@ -26,10 +33,11 @@ the database-wide :class:`~repro.concurrency.rwlock.ReadWriteLock`:
   driven from the thread that opened it — the write lock is owned per
   thread, which is also what makes reentrancy safe.
 
-Every lock acquire is paired with a release in ``try/finally``: a
-statement that dies mid-flight (binder error, constraint violation,
-injected fault) must never leave the shared lock held, or the whole
-server wedges on the next writer.
+Every lock/latch acquire is paired with a release in ``try/finally``,
+and every reader lease with a release — a statement that dies
+mid-flight (binder error, constraint violation, KILL while waiting on a
+latch) must never leave a lock held or a lease registered, or writers
+wedge / vacuum stalls forever.
 """
 
 from __future__ import annotations
@@ -39,26 +47,38 @@ from typing import Any
 
 from ..errors import ConcurrencyError
 from ..exec.operators.scan import ColumnStoreScan
+from ..exec.row_engine import RowColumnStoreScan
 from ..governance import governed
 from ..observability import registry as metrics
 from ..sql import ast as A
 from ..sql.runner import make_binder
 from ..sql.parser import parse_statement
+from .latch import TableLatches
 from .rwlock import ReadWriteLock
 
 # Leaf operators that read mutable structures in place and therefore
 # cannot be pinned: their plans run under the shared lock end to end.
 _READ_ONLY_STATEMENTS = (A.SelectStatement, A.ExplainStatement)
 
+# Statements eligible for per-table write latching (auto-commit DML on a
+# single named table). Everything else on the write path takes the
+# exclusive side of the database lock.
+_DML_STATEMENTS = (A.InsertStatement, A.UpdateStatement, A.DeleteStatement)
 
-def pin_plan(physical) -> bool:
-    """Pin every column-store scan leaf of a compiled plan to a snapshot.
 
-    Returns True when the whole plan is *fully pinned* — every leaf is a
-    :class:`ColumnStoreScan` — so execution may proceed without holding
-    the shared lock. Leaves that are not column-store scans (row-store
-    heap scans, index seeks, the row-mode columnstore reader) iterate
-    mutable structures in place; one such leaf makes the plan unpinned.
+def pin_plan(physical, epoch: int | None = None) -> bool:
+    """Pin every columnstore scan leaf of a compiled plan to a snapshot.
+
+    Returns True when the whole plan is *fully pinned* — every leaf
+    reads columnstore structures through a pinned capture (batch-mode
+    :class:`ColumnStoreScan` or row-mode :class:`RowColumnStoreScan`) —
+    so execution may proceed with no lock held. Leaves that read
+    row-store structures in place (heap scans, index seeks) make the
+    plan unpinned; their writers take the exclusive lock side, so the
+    shared side is the correct (and sufficient) protection for them.
+
+    ``epoch`` pins the committed state as of that MVCC epoch; ``None``
+    pins the current state (the legacy read-locked path).
     """
     fully_pinned = True
     stack = [physical.root]
@@ -67,8 +87,8 @@ def pin_plan(physical) -> bool:
         children = op.child_operators()
         if children:
             stack.extend(children)
-        elif isinstance(op, ColumnStoreScan):
-            op.pin()
+        elif isinstance(op, (ColumnStoreScan, RowColumnStoreScan)):
+            op.pin(epoch=epoch)
         else:
             fully_pinned = False
     return fully_pinned
@@ -83,12 +103,23 @@ class Session:
     but pointless — open one session per thread instead.
     """
 
-    def __init__(self, name: str, db, lock: ReadWriteLock, on_close=None) -> None:
+    def __init__(
+        self,
+        name: str,
+        db,
+        lock: ReadWriteLock,
+        on_close=None,
+        latches: TableLatches | None = None,
+    ) -> None:
         self.name = name
         self._db = db
         self._lock = lock
+        self._latches = latches
         self._on_close = on_close
         self._closed = False
+        # A reader lease held *across* statements (hold_snapshot): every
+        # read of this session runs at the held epoch until released.
+        self._held_lease = None
         self._in_txn = False
         self._txn_thread: int | None = None
         # Serializes statements *within* this session; the RW lock
@@ -161,6 +192,10 @@ class Session:
             if self._closed:
                 return
             self._closed = True
+            if self._held_lease is not None:
+                # A leaked lease would hold the GC horizon back forever.
+                self._held_lease.release()
+                self._held_lease = None
             if self._in_txn:
                 try:
                     self._db.rollback(owner=self.name)
@@ -199,6 +234,38 @@ class Session:
         return get_query_registry().cancel(query_id)
 
     # ------------------------------------------------------------------ #
+    # Snapshot holds (repeatable-read across statements)
+    # ------------------------------------------------------------------ #
+    def hold_snapshot(self) -> int:
+        """Pin a reader lease and keep it across statements.
+
+        Every subsequent read of this session runs at the returned
+        epoch until :meth:`release_snapshot` — a writer may commit any
+        number of times in between and the session's results stay
+        exactly what the epoch saw (repeatable read). The lease also
+        holds the GC horizon back, so the versions it needs survive
+        vacuum. Idempotent: calling again returns the held epoch.
+        """
+        with self._statement_lock:
+            self._require_open()
+            if self._held_lease is None:
+                self._held_lease = self._db.mvcc.readers.pin(tag=self.name)
+            return self._held_lease.epoch
+
+    def release_snapshot(self) -> None:
+        """Release the held lease (no-op when none is held)."""
+        with self._statement_lock:
+            if self._held_lease is not None:
+                self._held_lease.release()
+                self._held_lease = None
+
+    @property
+    def snapshot_epoch(self) -> int | None:
+        """The held snapshot's epoch, or None when not holding one."""
+        lease = self._held_lease
+        return None if lease is None else lease.epoch
+
+    # ------------------------------------------------------------------ #
     # Statement routes
     # ------------------------------------------------------------------ #
     def _run_set(self, statement) -> None:
@@ -232,43 +299,133 @@ class Session:
         return run_parsed(self._db, statement, **options)
 
     def _run_read(self, statement, options: dict[str, Any]):
-        """SELECT/EXPLAIN outside a transaction: snapshot-pinned read.
+        """SELECT outside a transaction: lock-free MVCC snapshot read.
 
-        The shared lock covers bind + compile + pin; if every leaf
-        pinned, execution happens after release — concurrently with
-        other readers *and* with any writer that sneaks in between.
+        The session pins a reader lease at the latest committed epoch —
+        one mutex-protected counter read, no RW-lock traffic — then
+        binds, compiles and pins every columnstore leaf to the epoch's
+        snapshot. Fully pinned plans execute with no lock held; plans
+        with row-store leaves fall back to executing under the shared
+        lock (row-store writers take the exclusive side). EXPLAIN
+        [ANALYZE] is diagnostic and keeps the old under-the-shared-lock
+        live scan.
+        """
+        from ..governance.context import current as governance_current
+        from ..sql.runner import run_parsed
+
+        if not isinstance(statement, A.SelectStatement):
+            # EXPLAIN [ANALYZE] is rare and diagnostic: run it under
+            # the shared lock end to end rather than teaching the
+            # stats renderer about pinning.
+            self._lock.acquire_read()
+            try:
+                metrics.increment("concurrency.locked_statements")
+                return run_parsed(self._db, statement, **options)
+            finally:
+                self._lock.release_read()
+        stats = bool(options.pop("stats", False))
+        held = self._held_lease
+        lease = held if held is not None else self._db.mvcc.readers.pin(tag=self.name)
+        try:
+            ctx = governance_current()
+            if ctx is not None:
+                ctx.epoch = lease.epoch
+            plan = self._snapshot_binder(lease.epoch).bind_select(statement)
+            physical, dtypes = self._db._prepare(plan, **options)
+            if pin_plan(physical, lease.epoch):
+                # Fully pinned: execute against the epoch's snapshot
+                # with no lock held — writers never block this path.
+                metrics.increment("mvcc.lockfree_reads")
+                metrics.increment("concurrency.pinned_statements")
+                return self._db._run_physical(physical, dtypes, stats=stats)
+            # Row-store leaves read mutable B-trees in place; their
+            # writers take the exclusive side, so the shared side
+            # excludes them. Columnstore leaves stay pinned at the
+            # lease epoch either way — a per-table latch writer (which
+            # holds only the shared side) can run concurrently with
+            # this, and the pin is what keeps its uncommitted state
+            # invisible.
+            metrics.increment("concurrency.locked_statements")
+            self._lock.acquire_read()
+            try:
+                return self._db._run_physical(physical, dtypes, stats=stats)
+            finally:
+                self._lock.release_read()
+        finally:
+            if lease is not held:
+                lease.release()
+
+    def _snapshot_binder(self, epoch: int):
+        """A binder whose uncorrelated-subquery executor reads at ``epoch``.
+
+        The binder runs scalar/IN subqueries *at bind time*; the stock
+        :func:`make_binder` executor would read the live structures and
+        leak post-snapshot commits into a pinned statement. Pinning each
+        subplan to the lease epoch keeps the whole statement — outer
+        query and subqueries alike — on one consistent snapshot. Subplans
+        with row-store leaves run briefly under the shared lock, matching
+        the outer plan's fallback.
+        """
+        from ..sql.binder import Binder
+
+        def executor(plan):
+            physical = self._db.compile(plan)
+            if pin_plan(physical, epoch):
+                return list(physical.rows())
+            self._lock.acquire_read()
+            try:
+                return list(physical.rows())
+            finally:
+                self._lock.release_read()
+
+        return Binder(self._db.catalog, executor=executor)
+
+    def _write_latch_for(self, statement):
+        """The per-table latch this write should take, or None.
+
+        Only auto-commit DML against a columnstore-only table latches:
+        those writes touch that table's structures plus internally
+        locked shared services (WAL, epoch manager, metrics). Rowstore
+        and BOTH-storage tables have row-id allocation and index
+        structures the read path still walks in place, so their writers
+        keep the exclusive lock; DDL and maintenance reorganize shared
+        state and always take it.
+        """
+        if self._latches is None or not isinstance(statement, _DML_STATEMENTS):
+            return None
+        try:
+            target = self._db.catalog.table(statement.table)
+        except Exception:
+            return None  # unknown table: let the write path raise normally
+        if target.columnstore is None or target.rowstore is not None:
+            return None
+        return self._latches.latch(target.name)
+
+    def _run_write(self, statement, options: dict[str, Any]):
+        """Auto-commit DML/DDL.
+
+        Columnstore-only DML: shared side + the table's write latch, so
+        disjoint-table writers commit concurrently. Everything else:
+        exclusive side for the statement's duration, as before.
         """
         from ..sql.runner import run_parsed
 
+        latch = self._write_latch_for(statement)
+        if latch is None:
+            self._lock.acquire_write()
+            try:
+                return run_parsed(self._db, statement, **options)
+            finally:
+                self._lock.release_write()
         self._lock.acquire_read()
         try:
-            if not isinstance(statement, A.SelectStatement):
-                # EXPLAIN [ANALYZE] is rare and diagnostic: run it under
-                # the shared lock end to end rather than teaching the
-                # stats renderer about pinning.
-                metrics.increment("concurrency.locked_statements")
+            latch.acquire()
+            try:
                 return run_parsed(self._db, statement, **options)
-            stats = bool(options.pop("stats", False))
-            plan = make_binder(self._db).bind_select(statement)
-            physical, dtypes = self._db._prepare(plan, **options)
-            if not pin_plan(physical):
-                metrics.increment("concurrency.locked_statements")
-                return self._db._run_physical(physical, dtypes, stats=stats)
+            finally:
+                latch.release()
         finally:
             self._lock.release_read()
-        # Fully pinned: execute against the frozen snapshot, lock-free.
-        metrics.increment("concurrency.pinned_statements")
-        return self._db._run_physical(physical, dtypes, stats=stats)
-
-    def _run_write(self, statement, options: dict[str, Any]):
-        """Auto-commit DML/DDL: exclusive for the statement's duration."""
-        from ..sql.runner import run_parsed
-
-        self._lock.acquire_write()
-        try:
-            return run_parsed(self._db, statement, **options)
-        finally:
-            self._lock.release_write()
 
     def _run_in_txn(self, statement, options: dict[str, Any]):
         """Any statement inside this session's open transaction.

@@ -21,6 +21,7 @@ from typing import Any, Iterator, Sequence
 from ..errors import BindingError, CatalogError, PlanningError, StorageError, TxnError
 from ..governance import QueryContext, get_query_registry, governed
 from ..governance import context as governance
+from ..mvcc import EpochManager
 from ..exec.expressions import Column, Expr
 from ..exec.operators.scan import ColumnStoreScan
 from ..exec.row_engine import RID_COLUMN, RowTableScan
@@ -96,6 +97,11 @@ class Database:
         # is the LSN of its TXN_BEGIN marker.
         self._txn: TxnContext | None = None
         self._next_txn_id = 1
+        # MVCC: one epoch clock + reader registry shared by every table
+        # (DESIGN.md "Multi-versioning"). Columnstore indexes are born
+        # with a private manager; create_table and load() swap this one
+        # in so commits across tables advance one clock.
+        self.mvcc = EpochManager()
         # Governance settings (statement_timeout / query_memory_budget /
         # query_memory_limit); sessions overlay their own on top.
         self.settings: dict[str, int] = {}
@@ -190,12 +196,24 @@ class Database:
     def commit(self, owner: str | None = None) -> None:
         """Make the open transaction's work permanent (SQL ``COMMIT``)."""
         txn = self._require_txn("COMMIT", owner)
+        # MVCC: install the transaction's stamps at a fresh epoch before
+        # the commit marker is logged — the marker records the epoch so
+        # replay can fast-forward the clock past it. Transactions that
+        # touched no versioned storage (read-only, rowstore-only) skip
+        # epoch allocation entirely.
+        hooks = txn.take_commit_hooks()
+        epoch = self.mvcc.commit(hooks) if hooks else None
         if self._wal is not None:
+            from ..wal import replay as walreplay
+
             # The commit marker is what promotes the transaction's
             # records from "present in the log" to "applied by replay";
             # wal.commit() then makes the whole batch durable per the
             # configured durability mode — one fsync for N statements.
-            self._wal.append(WalRecordType.TXN_COMMIT, "", b"", txn.txn_id)
+            payload = (
+                walreplay.encode_json({"epoch": epoch}) if epoch is not None else b""
+            )
+            self._wal.append(WalRecordType.TXN_COMMIT, "", payload, txn.txn_id)
             self._wal.commit()
         txn.discard()
         self._txn = None
@@ -286,6 +304,11 @@ class Database:
                 metrics.increment("txn.statement_rollbacks")
                 raise
             else:
+                # Auto-commit: the statement IS the transaction, so its
+                # MVCC stamps install at a fresh epoch right here.
+                hooks = txn.take_commit_hooks()
+                if hooks:
+                    self.mvcc.commit(hooks)
                 txn.discard()
 
     def _log_dml(self, rtype: WalRecordType, table: str, payload: bytes) -> None:
@@ -329,6 +352,8 @@ class Database:
         config = config or self.default_config
         with self._atomic_statement() as txn:
             table = self.catalog.create_table(name, schema, storage, config)
+            if table.columnstore is not None:
+                table.columnstore.attach_mvcc(self.mvcc)
             txn.record(
                 f"un-create table {name}",
                 lambda: self.catalog.drop_table(name),
@@ -919,6 +944,7 @@ class Database:
                     table.columnstore = persist.load_columnstore(
                         table_schema, config, reader, table.name
                     )
+                    table.columnstore.attach_mvcc(db.mvcc)
                 if table.rowstore is not None:
                     rows = persist.deserialize_rows(
                         table_schema, reader.read(f"{table.name}/rowstore.rows")
@@ -1050,6 +1076,24 @@ class Database:
             raise CatalogError("REBUILD on BOTH-storage tables is not supported")
         self._log(WalRecordType.REBUILD, target.name, b"")
         target.rebuild_columnstore()
+
+    def vacuum(self, table: str | None = None) -> dict[str, int]:
+        """Free MVCC versions no registered reader can see.
+
+        Runs :meth:`ColumnStoreIndex.vacuum` on one table (or all) and
+        returns the aggregate ``{"groups", "deltas", "tombstones"}``
+        freed counts. Not logged: vacuum changes no visible state, and
+        replay's deterministic txn-less GC reproduces it on its own.
+        """
+        totals = {"groups": 0, "deltas": 0, "tombstones": 0}
+        names = [table] if table is not None else self.catalog.table_names()
+        for name in names:
+            target = self.catalog.table(name)
+            if target.columnstore is not None:
+                freed = target.columnstore.vacuum()
+                for key in totals:
+                    totals[key] += freed[key]
+        return totals
 
     def set_archival(self, table: str, enabled: bool) -> None:
         self._require_no_txn("archival compression changes")

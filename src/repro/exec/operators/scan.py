@@ -107,19 +107,22 @@ class ColumnStoreScan(BatchOperator):
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
-    def pin(self, units: list[ScanUnit] | None = None) -> None:
+    def pin(
+        self, units: list[ScanUnit] | None = None, epoch: int | None = None
+    ) -> None:
         """Pin this scan to a snapshot-stable unit list.
 
-        Called by the concurrency layer at statement start, while the
-        session read lock guarantees no writer is active: afterwards the
-        scan iterates the pinned units — immutable row groups with masks
-        materialized at pin time, frozen delta captures — so concurrent
-        DML, the tuple mover, and REBUILD can proceed without mutating
-        this scan's view out from under it. ``units`` lets exchange
-        shards of one parallel scan share a single capture.
+        Called by the concurrency layer at statement start: afterwards
+        the scan iterates the pinned units — immutable row groups with
+        masks materialized at pin time, frozen delta captures — so
+        concurrent DML, the tuple mover, and REBUILD can proceed without
+        mutating this scan's view out from under it. ``epoch`` pins the
+        committed state as of that MVCC epoch (the lock-free read path);
+        ``None`` pins the current state. ``units`` lets exchange shards
+        of one parallel scan share a single capture.
         """
         self._pinned_units = (
-            units if units is not None else self.index.pin_scan_units()
+            units if units is not None else self.index.pin_scan_units(epoch)
         )
 
     @property

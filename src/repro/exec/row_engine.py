@@ -199,6 +199,7 @@ class RowColumnStoreScan(RowOperator):
         self.columns = list(columns)
         self.predicate = predicate
         self._all_names = index.schema.names
+        self._pinned_units = None
 
     @property
     def output_names(self) -> list[str]:
@@ -207,10 +208,30 @@ class RowColumnStoreScan(RowOperator):
     def describe(self) -> str:
         return f"RowColumnStoreScan(cols={self.columns}, predicate={self.predicate})"
 
+    def pin(self, units=None, epoch: int | None = None) -> None:
+        """Pin to a snapshot-stable unit list (same contract as
+        :meth:`ColumnStoreScan.pin`): row-mode columnstore scans are
+        pinnable too, so a mixed-mode plan over a columnstore can run
+        lock-free against a snapshot while per-table latch writers
+        mutate the live structures.
+        """
+        self._pinned_units = (
+            units if units is not None else self.index.pin_scan_units(epoch)
+        )
+
+    @property
+    def pinned(self) -> bool:
+        return self._pinned_units is not None
+
     def rows(self) -> Iterator[dict[str, Any]]:
         names = self._all_names
         predicate = self.predicate
-        for scanned, row in enumerate(self.index._iter_live_rows()):
+        source = (
+            self.index.iter_unit_rows(self._pinned_units)
+            if self._pinned_units is not None
+            else self.index._iter_live_rows()
+        )
+        for scanned, row in enumerate(source):
             if scanned % _SCAN_CHECK_INTERVAL == 0:
                 governance_checkpoint()
             row_map = dict(zip(names, row))

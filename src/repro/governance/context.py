@@ -121,6 +121,9 @@ class QueryContext:
         self._governor = governor if governor is not None else _process_governor
         self._cancel = threading.Event()
         self.cancel_reason: str | None = None
+        # MVCC: the snapshot epoch a lock-free read pinned (None until a
+        # reader lease is taken, and always None for writes/EXPLAIN).
+        self.epoch: int | None = None
         self._mem_lock = threading.Lock()
         self.reserved_bytes = 0
         self.peak_bytes = 0
@@ -250,6 +253,7 @@ class QueryContext:
             "timeout_ms": self.timeout_ms,
             "reserved_bytes": self.reserved_bytes,
             "state": ("cancelling" if self._cancel.is_set() else "running"),
+            "epoch": self.epoch,
         }
 
     def __repr__(self) -> str:

@@ -70,9 +70,15 @@ STABLE_COUNTERS = (
     "concurrency.sessions",
     "concurrency.read_waits",
     "concurrency.write_waits",
+    "concurrency.latch_waits",
     "concurrency.snapshot_pins",
     "concurrency.pinned_statements",
     "concurrency.locked_statements",
+    "mvcc.versions_installed",
+    "mvcc.versions_gced",
+    "mvcc.reader_pins",
+    "mvcc.oldest_active_epoch",
+    "mvcc.lockfree_reads",
     "governance.statements_timed_out",
     "governance.statements_cancelled",
     "governance.statements_killed",

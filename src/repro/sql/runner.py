@@ -140,6 +140,10 @@ def _run_show(db, statement: A.ShowStatement):
                     info["timeout_ms"] if info["timeout_ms"] is not None else 0,
                     info["reserved_bytes"],
                     info["sql"],
+                    # MVCC snapshot epoch of a lock-free read (0 =
+                    # not reading from a pinned snapshot). Appended
+                    # last so positional consumers stay valid.
+                    info["epoch"] if info["epoch"] is not None else 0,
                 )
             )
         return Result(
@@ -151,8 +155,9 @@ def _run_show(db, statement: A.ShowStatement):
                 "timeout_ms",
                 "reserved_bytes",
                 "sql",
+                "epoch",
             ],
-            dtypes=[BIGINT, VARCHAR, VARCHAR, FLOAT, BIGINT, BIGINT, VARCHAR],
+            dtypes=[BIGINT, VARCHAR, VARCHAR, FLOAT, BIGINT, BIGINT, VARCHAR, BIGINT],
             rows=rows,
         )
     value = db.get_setting(statement.name)

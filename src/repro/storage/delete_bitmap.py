@@ -4,8 +4,16 @@ Compressed row groups are immutable, so DELETE marks rows in a side
 structure keyed by (row-group id, position) — the paper's delete bitmap.
 Scans subtract marked rows; the tuple mover / REBUILD physically removes
 them. SQL Server keeps an in-memory bitmap backed by a B-tree on disk; we
-keep per-row-group Python sets with a vectorized mask materialization for
-batch scans.
+keep per-row-group Python dicts with a vectorized mask materialization
+for batch scans.
+
+MVCC: every mark carries the commit epoch at which the delete became
+visible (:mod:`repro.mvcc`). A transactional delete marks at
+:data:`~repro.mvcc.PENDING_EPOCH` and stamps the real epoch at commit;
+:meth:`mask_for` filters by a reader's epoch so a snapshot pinned before
+the delete committed keeps seeing the row. ``epoch=None`` means "current
+state including pending marks" — the read-your-writes view the
+single-caller engine and in-transaction scans use.
 
 Redo determinism: marks are keyed by (group id, position), and group ids
 are assigned by deterministic maintenance operations that the WAL logs
@@ -15,16 +23,24 @@ replayed index marks exactly the rows the original statement marked.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 import numpy as np
+
+from ..mvcc import GENESIS_EPOCH
 
 
 class DeleteBitmap:
     """Deleted-row marks for the compressed row groups of one index."""
 
     def __init__(self) -> None:
-        self._deleted: dict[int, set[int]] = {}
+        # group id -> {position -> mark epoch}
+        self._deleted: dict[int, dict[int, int]] = {}
+        # Guards structural mutation vs. lock-free mask materialization:
+        # snapshot readers call mask_for with no outer lock held, and a
+        # dict being resized mid-iteration would tear the capture.
+        self._lock = threading.Lock()
         # Monotonic mutation counter. Snapshot reads pin a bitmap version
         # at statement start (masks are materialized then) and concurrent
         # DML bumps this, so a pinned scan can tell — and tests can
@@ -39,14 +55,34 @@ class DeleteBitmap:
     # ------------------------------------------------------------------ #
     # Marking
     # ------------------------------------------------------------------ #
-    def mark(self, group_id: int, position: int) -> bool:
-        """Mark one row deleted; returns ``False`` if it already was."""
-        positions = self._deleted.setdefault(group_id, set())
-        if position in positions:
-            return False
-        positions.add(position)
-        self._version += 1
-        return True
+    def mark(self, group_id: int, position: int, epoch: int = GENESIS_EPOCH) -> bool:
+        """Mark one row deleted; returns ``False`` if it already was.
+
+        ``epoch`` is the visibility epoch of the mark — GENESIS for
+        txn-less callers (visible to everyone immediately), PENDING for
+        transactional deletes awaiting :meth:`stamp` at commit.
+        """
+        with self._lock:
+            positions = self._deleted.setdefault(group_id, {})
+            if position in positions:
+                return False
+            positions[position] = epoch
+            self._version += 1
+            return True
+
+    def stamp(self, group_id: int, position: int, epoch: int) -> None:
+        """Commit hook: replace a PENDING mark with its commit epoch.
+
+        A no-op if the mark is gone (rolled back) or already stamped —
+        stamp-if-still-pending is what makes stale hooks after a
+        statement-level rollback harmless.
+        """
+        from ..mvcc import PENDING_EPOCH
+
+        with self._lock:
+            positions = self._deleted.get(group_id)
+            if positions is not None and positions.get(position) == PENDING_EPOCH:
+                positions[position] = epoch
 
     def unmark(self, group_id: int, position: int) -> bool:
         """Clear one mark (delete undo); returns ``False`` if not marked.
@@ -54,26 +90,36 @@ class DeleteBitmap:
         An entry left empty is removed entirely so the bitmap's group
         set (and accounting size) returns to its exact pre-mark state.
         """
-        positions = self._deleted.get(group_id)
-        if positions is None or position not in positions:
-            return False
-        positions.discard(position)
-        if not positions:
-            del self._deleted[group_id]
-        self._version += 1
-        return True
-
-    def mark_many(self, group_id: int, positions: Iterator[int] | list[int]) -> int:
-        """Mark many rows of one row group; returns newly marked count."""
-        existing = self._deleted.setdefault(group_id, set())
-        before = len(existing)
-        existing.update(int(p) for p in positions)
-        added = len(existing) - before
-        if added:
+        with self._lock:
+            positions = self._deleted.get(group_id)
+            if positions is None or position not in positions:
+                return False
+            del positions[position]
+            if not positions:
+                del self._deleted[group_id]
             self._version += 1
-        elif not existing:
-            del self._deleted[group_id]
-        return added
+            return True
+
+    def mark_many(
+        self,
+        group_id: int,
+        positions: Iterator[int] | list[int],
+        epoch: int = GENESIS_EPOCH,
+    ) -> int:
+        """Mark many rows of one row group; returns newly marked count."""
+        with self._lock:
+            existing = self._deleted.setdefault(group_id, {})
+            added = 0
+            for p in positions:
+                p = int(p)
+                if p not in existing:
+                    existing[p] = epoch
+                    added += 1
+            if added:
+                self._version += 1
+            elif not existing:
+                del self._deleted[group_id]
+            return added
 
     def is_deleted(self, group_id: int, position: int) -> bool:
         positions = self._deleted.get(group_id)
@@ -90,13 +136,27 @@ class DeleteBitmap:
     def total_deleted(self) -> int:
         return sum(len(p) for p in self._deleted.values())
 
-    def mask_for(self, group_id: int, row_count: int) -> np.ndarray | None:
-        """Boolean deleted-mask for a row group, or ``None`` if untouched."""
-        positions = self._deleted.get(group_id)
-        if not positions:
+    def mask_for(
+        self, group_id: int, row_count: int, epoch: int | None = None
+    ) -> np.ndarray | None:
+        """Boolean deleted-mask for a row group, or ``None`` if untouched.
+
+        ``epoch=None`` applies every mark including PENDING ones (the
+        current-state / read-your-writes view); an integer epoch applies
+        only marks committed at or before it (a snapshot view).
+        """
+        with self._lock:
+            positions = self._deleted.get(group_id)
+            if not positions:
+                return None
+            if epoch is None:
+                marked = list(positions)
+            else:
+                marked = [p for p, e in positions.items() if e <= epoch]
+        if not marked:
             return None
         mask = np.zeros(row_count, dtype=bool)
-        mask[np.fromiter(positions, dtype=np.int64, count=len(positions))] = True
+        mask[np.fromiter(marked, dtype=np.int64, count=len(marked))] = True
         return mask
 
     # ------------------------------------------------------------------ #
@@ -104,8 +164,25 @@ class DeleteBitmap:
     # ------------------------------------------------------------------ #
     def forget_group(self, group_id: int) -> None:
         """Drop all marks for a row group (after rebuild/removal)."""
-        if self._deleted.pop(group_id, None) is not None:
+        with self._lock:
+            if self._deleted.pop(group_id, None) is not None:
+                self._version += 1
+
+    def take_group(self, group_id: int) -> dict[int, int]:
+        """Detach and return a row group's marks (group retirement).
+
+        The retiring maintenance operation snapshots the marks alongside
+        the retired group object, so readers at older epochs keep
+        filtering the retired group with the marks it had — while the
+        live bitmap sheds the entry (the replacement groups contain no
+        deleted rows).
+        """
+        with self._lock:
+            marks = self._deleted.pop(group_id, None)
+            if marks is None:
+                return {}
             self._version += 1
+            return dict(marks)
 
     def groups_with_deletes(self) -> list[int]:
         return sorted(gid for gid, positions in self._deleted.items() if positions)

@@ -4,24 +4,36 @@ New rows that arrive one at a time (or in small batches) land in the open
 delta store — an uncompressed B-tree keyed by row id, exactly as in the
 paper. When a delta store reaches the close threshold it stops accepting
 inserts and waits for the tuple mover to compress it into a row group.
-Deletes against delta-store rows remove them in place (no delete-bitmap
-entry needed).
+
+MVCC: each row carries an insert epoch, and deletes against delta rows
+*tombstone* them (stamp a delete epoch) instead of removing them from
+the B-tree — a snapshot reader pinned before the delete committed still
+needs the row. Physical removal is deferred to :meth:`gc`, driven by the
+vacuum pass once no registered reader can see the tombstoned row. All
+current-state accessors (``row_count``, ``get``, ``scan`` …) present
+only live (un-tombstoned) rows, so single-caller behavior is unchanged;
+:meth:`capture` materializes the rows visible at a specific epoch.
 
 Redo determinism: delta ids, row ids and the open/closed transitions are
 pure functions of the insert/close sequence, so WAL replay
 (:mod:`repro.wal.replay`) driving the same statements through the same
 thresholds reconstructs structurally identical delta stores — which is
 what lets later log records address rows by (delta id, position).
+Tombstoned-but-not-yet-collected rows never change that: row ids are
+never reused, and replayed deletes are txn-less so their tombstones are
+collected by the same deterministic vacuum rule.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Any, Iterator
 
 import numpy as np
 
 from ..errors import StorageError
+from ..mvcc import GENESIS_EPOCH, PENDING_EPOCH
 from ..observability import registry as metrics
 from ..schema import TableSchema
 from .btree import BPlusTree
@@ -40,12 +52,28 @@ class DeltaStore:
         self.schema = schema
         self.state = DeltaState.OPEN
         self._rows = BPlusTree(order=btree_order)
+        # MVCC stamps. A row id present in _rows but absent from
+        # _insert_epochs was inserted at GENESIS (loaded snapshots and
+        # replayed state take this path); _tombstones maps row id ->
+        # delete epoch for rows deleted-but-not-yet-collected.
+        self._insert_epochs: dict[int, int] = {}
+        self._tombstones: dict[int, int] = {}
+        # Guards the B-tree + stamp dicts against lock-free capture():
+        # snapshot readers materialize columnar copies while writers
+        # keep inserting/tombstoning.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self.row_count
 
     @property
     def row_count(self) -> int:
+        """Live (un-tombstoned) rows — the current-state view."""
+        return len(self._rows) - len(self._tombstones)
+
+    @property
+    def physical_row_count(self) -> int:
+        """All rows still in the B-tree, tombstoned ones included."""
         return len(self._rows)
 
     @property
@@ -66,48 +94,144 @@ class DeltaStore:
     # ------------------------------------------------------------------ #
     # DML
     # ------------------------------------------------------------------ #
-    def insert(self, row_id: int, values: tuple[Any, ...]) -> None:
+    def insert(
+        self, row_id: int, values: tuple[Any, ...], epoch: int = GENESIS_EPOCH
+    ) -> None:
         if self.state is not DeltaState.OPEN:
             raise StorageError(f"delta store {self.delta_id} is closed")
-        if row_id in self._rows:
-            raise StorageError(f"duplicate row id {row_id} in delta store")
-        self._rows.insert(row_id, values)
+        with self._lock:
+            if row_id in self._rows:
+                raise StorageError(f"duplicate row id {row_id} in delta store")
+            self._rows.insert(row_id, values)
+            if epoch != GENESIS_EPOCH:
+                self._insert_epochs[row_id] = epoch
         metrics.increment("storage.delta.rows_inserted")
 
+    def stamp_insert(self, row_id: int, epoch: int) -> None:
+        """Commit hook: replace a PENDING insert epoch with the real one.
+
+        No-op if the row is gone (rolled back) or already stamped.
+        """
+        with self._lock:
+            if self._insert_epochs.get(row_id) == PENDING_EPOCH:
+                if epoch == GENESIS_EPOCH:
+                    del self._insert_epochs[row_id]
+                else:
+                    self._insert_epochs[row_id] = epoch
+
     def delete(self, row_id: int) -> bool:
-        """Delete a row in place; returns ``False`` if absent."""
-        return self._rows.delete(row_id)
+        """Physically remove a row; returns ``False`` if absent.
+
+        This is the *non-versioned* removal used by insert undo (the row
+        was never visible to anyone) and by direct single-caller code.
+        Versioned deletes go through :meth:`tombstone`.
+        """
+        with self._lock:
+            if not self._rows.delete(row_id):
+                return False
+            self._insert_epochs.pop(row_id, None)
+            self._tombstones.pop(row_id, None)
+            return True
+
+    def tombstone(self, row_id: int, epoch: int) -> bool:
+        """Mark a row deleted as of ``epoch``; ``False`` if already gone.
+
+        The row stays in the B-tree for snapshot readers at older epochs;
+        :meth:`gc` removes it once the GC horizon passes ``epoch``.
+        """
+        with self._lock:
+            if row_id not in self._rows or row_id in self._tombstones:
+                return False
+            self._tombstones[row_id] = epoch
+            return True
+
+    def stamp_tombstone(self, row_id: int, epoch: int) -> None:
+        """Commit hook: replace a PENDING tombstone with its commit epoch."""
+        with self._lock:
+            if self._tombstones.get(row_id) == PENDING_EPOCH:
+                self._tombstones[row_id] = epoch
+
+    def clear_tombstone(self, row_id: int) -> bool:
+        """Delete undo: make a tombstoned row live again."""
+        with self._lock:
+            return self._tombstones.pop(row_id, None) is not None
 
     def restore(self, row_id: int, values: tuple[Any, ...]) -> None:
         """Re-insert a deleted row (delete undo), even when closed.
 
         Bypasses the OPEN check and the insert metrics: the row is not
         new, it is the original row coming back under its original id.
+        Handles both removal flavors — a tombstoned row comes back by
+        clearing the tombstone, a physically removed one by re-insertion.
         """
-        if row_id in self._rows:
-            raise StorageError(
-                f"cannot restore row {row_id}: it is still present in "
-                f"delta store {self.delta_id}"
-            )
-        self._rows.insert(row_id, values)
+        with self._lock:
+            if row_id in self._rows:
+                if self._tombstones.pop(row_id, None) is not None:
+                    return
+                raise StorageError(
+                    f"cannot restore row {row_id}: it is still present in "
+                    f"delta store {self.delta_id}"
+                )
+            self._rows.insert(row_id, values)
 
     def get(self, row_id: int) -> tuple[Any, ...] | None:
-        return self._rows.get(row_id)
+        with self._lock:
+            if row_id in self._tombstones:
+                return None
+            return self._rows.get(row_id)
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection
+    # ------------------------------------------------------------------ #
+    def gc(self, horizon: int) -> int:
+        """Physically remove tombstoned rows no reader can see.
+
+        A tombstone at epoch ``e <= horizon`` is invisible to every
+        registered reader and to all future ones, so the row is removed
+        from the B-tree. Returns the number of rows collected.
+        """
+        with self._lock:
+            dead = [rid for rid, e in self._tombstones.items() if e <= horizon]
+            for rid in dead:
+                self._rows.delete(rid)
+                self._insert_epochs.pop(rid, None)
+                del self._tombstones[rid]
+        return len(dead)
 
     # ------------------------------------------------------------------ #
     # Scans
     # ------------------------------------------------------------------ #
     def scan(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
-        """(row_id, row) pairs in row-id order."""
-        return iter(self._rows.items())
+        """(row_id, row) pairs of live rows, in row-id order."""
+        with self._lock:
+            items = [
+                (rid, row)
+                for rid, row in self._rows.items()
+                if rid not in self._tombstones
+            ]
+        return iter(items)
 
-    def to_columns(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray | None], list[int]]:
-        """Materialize as column arrays for vectorized scans / compression.
+    def _items_at(self, epoch: int | None) -> list[tuple[int, tuple[Any, ...]]]:
+        """Rows visible at ``epoch`` (None = live rows incl. pending)."""
+        with self._lock:
+            if epoch is None:
+                return [
+                    (rid, row)
+                    for rid, row in self._rows.items()
+                    if rid not in self._tombstones
+                ]
+            inserts = self._insert_epochs
+            tombs = self._tombstones
+            return [
+                (rid, row)
+                for rid, row in self._rows.items()
+                if inserts.get(rid, GENESIS_EPOCH) <= epoch
+                and tombs.get(rid, PENDING_EPOCH + 1) > epoch
+            ]
 
-        Returns (columns, null_masks, row_ids). VARCHAR columns come back
-        as object arrays, everything else in the physical NumPy dtype.
-        """
-        rows = list(self._rows.items())
+    def _columnize(
+        self, rows: list[tuple[int, tuple[Any, ...]]]
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray | None], list[int]]:
         row_ids = [row_id for row_id, _ in rows]
         columns: dict[str, np.ndarray] = {}
         null_masks: dict[str, np.ndarray | None] = {}
@@ -127,22 +251,36 @@ class DeltaStore:
             null_masks[col.name] = mask if has_nulls else None
         return columns, null_masks, row_ids
 
-    def freeze(self) -> "FrozenDeltaView":
-        """An immutable columnar capture of this delta store's rows.
+    def to_columns(self) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray | None], list[int]]:
+        """Materialize live rows as column arrays for vectorized scans /
+        compression.
+
+        Returns (columns, null_masks, row_ids). VARCHAR columns come back
+        as object arrays, everything else in the physical NumPy dtype.
+        """
+        return self._columnize(self._items_at(None))
+
+    def capture(self, epoch: int | None = None) -> "FrozenDeltaView":
+        """An immutable columnar capture of the rows visible at ``epoch``.
 
         Snapshot reads pin one of these at statement start: the B-tree
         keeps mutating under concurrent DML, but a frozen view's arrays
         are fresh copies, so a scan against it can run without holding
         any lock (see :meth:`ColumnStoreIndex.pin_scan_units`).
+        ``epoch=None`` captures the current live rows (pending included).
         """
-        columns, null_masks, row_ids = self.to_columns()
+        columns, null_masks, row_ids = self._columnize(self._items_at(epoch))
         return FrozenDeltaView(self.delta_id, columns, null_masks, row_ids)
+
+    def freeze(self) -> "FrozenDeltaView":
+        """Back-compat alias: capture the current live rows."""
+        return self.capture(None)
 
     @property
     def size_bytes(self) -> int:
         """Uncompressed accounting size (rows are stored as Python tuples)."""
         total = 0
-        for _, row in self._rows.items():
+        for _, row in self.scan():
             for col, value in zip(self.schema, row):
                 if value is None:
                     total += 2
@@ -159,7 +297,7 @@ class FrozenDeltaView:
 
     Duck-compatible with the slice of :class:`DeltaStore` the scan path
     uses (``delta_id`` / ``row_count`` / ``to_columns`` / ``scan``), but
-    backed by arrays materialized at :meth:`DeltaStore.freeze` time —
+    backed by arrays materialized at :meth:`DeltaStore.capture` time —
     concurrent inserts and deletes against the live store never show
     through. Read-only by construction: it has no mutating methods.
     """

@@ -4,14 +4,28 @@ The paper's directory keeps, for every segment, the metadata the engine
 needs without opening the segment blob: row count, encoded size, min/max.
 Ours additionally owns the per-column global (primary) dictionaries and
 hands out row-group ids.
+
+MVCC: each live row group carries a *creation epoch* — the commit epoch
+at which it became visible (GENESIS for loaded/replayed/txn-less state,
+PENDING while the creating transaction is uncommitted). Snapshot reads
+filter by it (:meth:`SegmentDirectory.visible_groups`); the retirement
+side of versioning (groups removed by the tuple mover / REBUILD but
+still visible to older readers) lives in
+:class:`~repro.storage.columnstore.ColumnStoreIndex`, which keeps the
+retired objects alive until vacuum. Mutations happen under a small
+mutex and iteration works over an immutably-swapped dict snapshot, so
+readers never observe a dict mid-resize.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from threading import Lock
 from typing import Any, Iterator
 
 from ..errors import StorageError
+from ..mvcc import GENESIS_EPOCH, PENDING_EPOCH
 from ..schema import TableSchema
 from .dictionary import GlobalDictionary
 from .rowgroup import RowGroup
@@ -43,6 +57,27 @@ class SegmentDirectory:
         self._global_dicts: dict[str, GlobalDictionary] = {
             col.name: GlobalDictionary() for col in schema
         }
+        # MVCC: group id -> creation epoch. Mutations to both dicts are
+        # serialized by _mutex; _row_groups is additionally swapped as a
+        # whole dict (copy-on-write) so lock-free iterators see a
+        # consistent snapshot.
+        self._created_epoch: dict[int, int] = {}
+        self._mutex = Lock()
+        # The epoch new groups are created at. GENESIS by default (bare
+        # index use, loads, replay); the creating_at() context manager
+        # scopes it for transactional bulk loads and maintenance, so the
+        # bulk loader itself needs no epoch plumbing.
+        self._creation_epoch = GENESIS_EPOCH
+
+    @contextmanager
+    def creating_at(self, epoch: int):
+        """Scope the creation epoch for groups added inside the block."""
+        previous = self._creation_epoch
+        self._creation_epoch = epoch
+        try:
+            yield
+        finally:
+            self._creation_epoch = previous
 
     # ------------------------------------------------------------------ #
     # Row-group lifecycle
@@ -71,22 +106,56 @@ class SegmentDirectory:
                 )
         self._next_group_id = next_group_id
 
-    def add_row_group(self, group: RowGroup) -> None:
-        if group.group_id in self._row_groups:
-            raise StorageError(f"duplicate row group id {group.group_id}")
-        self._row_groups[group.group_id] = group
+    def add_row_group(self, group: RowGroup, epoch: int | None = None) -> None:
+        with self._mutex:
+            if group.group_id in self._row_groups:
+                raise StorageError(f"duplicate row group id {group.group_id}")
+            updated = dict(self._row_groups)
+            updated[group.group_id] = group
+            self._created_epoch[group.group_id] = (
+                epoch if epoch is not None else self._creation_epoch
+            )
+            self._row_groups = updated
 
-    def replace_row_group(self, group: RowGroup) -> None:
-        """Swap in a re-compressed version of an existing row group."""
-        if group.group_id not in self._row_groups:
-            raise StorageError(f"unknown row group id {group.group_id}")
-        self._row_groups[group.group_id] = group
+    def replace_row_group(self, group: RowGroup, epoch: int | None = None) -> None:
+        """Swap in a re-compressed version of an existing row group.
+
+        ``epoch`` re-stamps the creation epoch (archival re-creates the
+        group at the installing epoch); by default the stamp is kept.
+        """
+        with self._mutex:
+            if group.group_id not in self._row_groups:
+                raise StorageError(f"unknown row group id {group.group_id}")
+            updated = dict(self._row_groups)
+            updated[group.group_id] = group
+            if epoch is not None:
+                self._created_epoch[group.group_id] = epoch
+            self._row_groups = updated
 
     def remove_row_group(self, group_id: int) -> RowGroup:
-        try:
-            return self._row_groups.pop(group_id)
-        except KeyError:
-            raise StorageError(f"unknown row group id {group_id}") from None
+        with self._mutex:
+            if group_id not in self._row_groups:
+                raise StorageError(f"unknown row group id {group_id}")
+            updated = dict(self._row_groups)
+            group = updated.pop(group_id)
+            self._created_epoch.pop(group_id, None)
+            self._row_groups = updated
+            return group
+
+    def created_epoch(self, group_id: int) -> int:
+        return self._created_epoch.get(group_id, GENESIS_EPOCH)
+
+    def stamp_pending_from(self, first_group_id: int, epoch: int) -> None:
+        """Commit hook for bulk loads: stamp groups created PENDING.
+
+        Applies to ids ``>= first_group_id`` still pending — a stale
+        hook (after a statement-level rollback removed the groups) is a
+        no-op, and re-created ids stamp the same (correct) epoch.
+        """
+        with self._mutex:
+            for group_id, created in self._created_epoch.items():
+                if group_id >= first_group_id and created == PENDING_EPOCH:
+                    self._created_epoch[group_id] = epoch
 
     def row_group(self, group_id: int) -> RowGroup:
         try:
@@ -96,8 +165,26 @@ class SegmentDirectory:
 
     def row_groups(self) -> Iterator[RowGroup]:
         """Row groups in id order (deterministic scans)."""
-        for group_id in sorted(self._row_groups):
-            yield self._row_groups[group_id]
+        groups = self._row_groups  # one consistent dict snapshot
+        for group_id in sorted(groups):
+            yield groups[group_id]
+
+    def visible_groups(self, epoch: int) -> list[tuple[RowGroup, int]]:
+        """(group, created_epoch) pairs visible at ``epoch``, id order.
+
+        Taken under the mutex so the creation-epoch reads are consistent
+        with the group dict — a commit stamping PENDING -> e concurrent
+        with this capture is benign either way (e > epoch, so the group
+        is invisible whichever value is read), but the mutex keeps the
+        dict itself from resizing mid-iteration.
+        """
+        with self._mutex:
+            groups = self._row_groups
+            return [
+                (groups[gid], created)
+                for gid in sorted(groups)
+                if (created := self._created_epoch.get(gid, GENESIS_EPOCH)) <= epoch
+            ]
 
     def __len__(self) -> int:
         return len(self._row_groups)

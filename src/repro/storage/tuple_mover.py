@@ -49,14 +49,22 @@ class TupleMover:
         if include_open:
             self.index.close_open_delta()
         report = TupleMoverReport()
-        for delta in self.index.closed_delta_stores():
-            columns, null_masks, _row_ids = delta.to_columns()
-            groups = self.index.loader.load_columns(columns, null_masks)
-            self.index.remove_delta_store(delta.delta_id)
-            report.delta_stores_compressed += 1
-            report.rows_moved += delta.row_count
-            report.row_groups_created += len(groups)
-            report.group_ids.extend(g.group_id for g in groups)
+        # The whole reorganization installs one new epoch: replacement
+        # row groups become visible at it, the compressed-away delta
+        # stores are retired at it — a snapshot reader pinned before the
+        # run keeps scanning the retired deltas, one pinned after sees
+        # only the new groups. Vacuum then frees whatever no reader needs.
+        with self.index.mvcc.installing() as epoch:
+            for delta in self.index.closed_delta_stores():
+                columns, null_masks, _row_ids = delta.to_columns()
+                with self.index.directory.creating_at(epoch):
+                    groups = self.index.loader.load_columns(columns, null_masks)
+                report.rows_moved += delta.row_count
+                self.index._retire_delta(delta, epoch)
+                report.delta_stores_compressed += 1
+                report.row_groups_created += len(groups)
+                report.group_ids.extend(g.group_id for g in groups)
+        self.index.vacuum()
         metrics.increment("storage.tuple_mover.runs")
         metrics.increment(
             "storage.tuple_mover.delta_stores_compressed",

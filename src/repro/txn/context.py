@@ -36,13 +36,19 @@ class TxnContext:
     record when a WAL is attached) for explicit transactions.
     """
 
-    __slots__ = ("txn_id", "_undo", "statements", "rolled_back", "owner")
+    __slots__ = ("txn_id", "_undo", "statements", "rolled_back", "owner", "_on_commit")
 
     def __init__(self, txn_id: int = AUTO_COMMIT_TXN, owner: str | None = None) -> None:
         self.txn_id = txn_id
         self._undo: list[tuple[str, Callable[[], None]]] = []
         self.statements = 0  # completed statements (for status/tests)
         self.rolled_back = False
+        # MVCC commit hooks: closures taking the commit epoch, run by the
+        # epoch manager while installing it (stamping PENDING marks /
+        # rows with the real epoch). Each hook is stamp-if-still-pending,
+        # so a hook left behind by a statement-level rollback (its stamps
+        # already undone) is a harmless no-op.
+        self._on_commit: list[Callable[[int], None]] = []
         # The session that opened this transaction (None for direct,
         # single-caller Database use). The concurrency layer serializes
         # writers, so at most one explicit transaction exists at a time —
@@ -64,6 +70,16 @@ class TxnContext:
     def record(self, description: str, action: Callable[[], None]) -> None:
         """Push one undo action (run if the statement/txn rolls back)."""
         self._undo.append((description, action))
+
+    def on_commit(self, hook: Callable[[int], None]) -> None:
+        """Register an epoch-stamping hook to run at commit."""
+        self._on_commit.append(hook)
+
+    def take_commit_hooks(self) -> list[Callable[[int], None]]:
+        """Detach and return the commit hooks (the commit path owns them)."""
+        hooks = self._on_commit
+        self._on_commit = []
+        return hooks
 
     # ------------------------------------------------------------------ #
     # Savepoints / rollback
@@ -97,8 +113,10 @@ class TxnContext:
         """Undo everything this transaction did."""
         undone = self.rollback_to(0)
         self.rolled_back = True
+        self._on_commit.clear()
         return undone
 
     def discard(self) -> None:
         """Forget recorded undo actions (the changes are being kept)."""
         self._undo.clear()
+        self._on_commit.clear()

@@ -126,9 +126,18 @@ def apply_records(db: "Database", records: list[WalRecord]) -> int:
     """
     committed = committed_txn_ids(records)
     applied = 0
+    max_epoch = 0
     for record in records:
         if record.rtype in TXN_MARKER_TYPES:
-            continue  # delimiters only — nothing to apply
+            # Delimiters only — nothing to apply, but commit markers
+            # carry the MVCC epoch the transaction installed, and the
+            # clock must land past every logged epoch so post-recovery
+            # commits never reuse one.
+            if record.rtype is WalRecordType.TXN_COMMIT and record.payload:
+                epoch = decode_json(record.payload).get("epoch")
+                if epoch:
+                    max_epoch = max(max_epoch, int(epoch))
+            continue
         if record.txn_id != AUTO_COMMIT_TXN and record.txn_id not in committed:
             metrics.increment("storage.wal.replay.uncommitted_skipped")
             continue
@@ -143,6 +152,8 @@ def apply_records(db: "Database", records: list[WalRecord]) -> int:
             ) from exc
         applied += 1
         metrics.increment("storage.wal.replay.records")
+    if max_epoch:
+        db.mvcc.advance_to(max_epoch)
     return applied
 
 

@@ -1,0 +1,283 @@
+"""Chaos harness, MVCC level: snapshot readers vs disjoint-table writers.
+
+Four writers hammer their own columnstore tables (the per-table latch
+path) while reader threads repeatedly pin a snapshot and fingerprint
+every table *twice* at the held epoch — any torn read, dirty read, or
+snapshot drift shows up as a fingerprint mismatch. A chaos thread
+injects random cancels and KILLs into whatever is running. Invariants:
+
+* every statement terminates in a classified state (the PR 7 contract
+  extends to latch waits and lock-free reads);
+* both fingerprints of a held epoch are identical — repeatable read
+  under concurrent committed writes;
+* zero leaked reader registrations once the harness winds down;
+* vacuum drains every retired version once no reader is registered, and
+  the GC horizon gauge lands on the live epoch;
+* the surviving state is bit-identical to a chaos-free serial replay of
+  exactly the statements that committed;
+* the saved survivor passes the offline integrity check.
+
+``REPRO_CHAOS_SEED`` selects the fault schedule (CI sweeps 0/1/2).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+from repro import Database
+from repro.concurrency import ConcurrentDatabase
+from repro.governance import get_memory_governor, get_query_registry
+from repro.observability import registry as metrics
+
+from .test_chaos_engine import classify, fingerprint
+
+SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+WRITERS = 4
+READERS = 3
+STATEMENTS_PER_WRITER = 25
+
+
+class _Writer(threading.Thread):
+    """Owns table ``m{i}``: INSERT / UPDATE / DELETE under the latch path."""
+
+    def __init__(self, cdb: ConcurrentDatabase, index: int, seed: int) -> None:
+        super().__init__(name=f"mvcc-writer-{index}")
+        self.cdb = cdb
+        self.table = f"m{index}"
+        self.rng = random.Random(seed)
+        self.committed: list[str] = []
+        self.outcomes: dict[str, int] = {}
+        self.failures: list[BaseException] = []
+        self.session = None
+
+    def run(self) -> None:
+        try:
+            with self.cdb.session(self.name) as session:
+                self.session = session
+                for n in range(STATEMENTS_PER_WRITER):
+                    statement = self._pick_statement(n)
+                    exc = None
+                    try:
+                        session.sql(statement)
+                    except BaseException as caught:
+                        exc = caught
+                    outcome = classify(exc)
+                    if outcome is None:
+                        self.failures.append(exc)
+                        outcome = "unclassified"
+                    self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+                    if outcome == "ok" and not statement.startswith("SELECT"):
+                        self.committed.append(statement)
+                    time.sleep(self.rng.uniform(0, 0.002))
+                self.session = None
+        except BaseException as exc:  # session-level failure: harness bug
+            self.failures.append(exc)
+
+    def _pick_statement(self, n: int) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.5:
+            values = ", ".join(
+                f"({n * 100 + k}, {rng.randrange(50)})"
+                for k in range(rng.randrange(1, 16))
+            )
+            return f"INSERT INTO {self.table} VALUES {values}"
+        if roll < 0.72:
+            return (
+                f"UPDATE {self.table} SET b = b + 1 "
+                f"WHERE a % {rng.randrange(2, 5)} = 0"
+            )
+        if roll < 0.88:
+            return f"DELETE FROM {self.table} WHERE a % {rng.randrange(5, 9)} = 1"
+        return f"SELECT count(*) FROM {self.table}"
+
+
+class _Reader(threading.Thread):
+    """Pins a snapshot, fingerprints every table twice at the held epoch."""
+
+    FINGERPRINT = "SELECT COUNT(*) AS n, SUM(a) AS sa, SUM(b) AS sb FROM {table}"
+
+    def __init__(
+        self, cdb: ConcurrentDatabase, index: int, seed: int, stop: threading.Event
+    ) -> None:
+        super().__init__(name=f"mvcc-reader-{index}")
+        self.cdb = cdb
+        self.rng = random.Random(seed)
+        self.stop = stop
+        self.rounds_compared = 0
+        self.mismatches: list[str] = []
+        self.failures: list[BaseException] = []
+        self.session = None
+
+    def run(self) -> None:
+        try:
+            with self.cdb.session(self.name) as session:
+                self.session = session
+                while not self.stop.is_set():
+                    self._one_round(session)
+                    time.sleep(self.rng.uniform(0, 0.003))
+                self.session = None
+        except BaseException as exc:
+            self.failures.append(exc)
+
+    def _one_round(self, session) -> None:
+        table = f"m{self.rng.randrange(WRITERS)}"
+        sql = self.FINGERPRINT.format(table=table)
+        epoch = session.hold_snapshot()
+        try:
+            first = self._read(session, sql)
+            # Give writers a window to commit between the two reads.
+            time.sleep(self.rng.uniform(0, 0.002))
+            second = self._read(session, sql)
+            if first is None or second is None:
+                return  # a cancelled/killed read aborts the comparison
+            if first != second:
+                self.mismatches.append(
+                    f"epoch {epoch} {table}: {first} != {second}"
+                )
+            self.rounds_compared += 1
+        finally:
+            session.release_snapshot()
+
+    def _read(self, session, sql):
+        try:
+            return session.sql(sql).rows
+        except BaseException as exc:
+            if classify(exc) is None:
+                self.failures.append(exc)
+            return None
+
+
+class _Chaos(threading.Thread):
+    """Random cancels and KILLs against whatever happens to be running."""
+
+    def __init__(self, db: Database, participants, seed: int) -> None:
+        super().__init__(name="mvcc-chaos-injector")
+        self.db = db
+        self.participants = participants
+        self.rng = random.Random(seed)
+        self.stop = threading.Event()
+
+    def run(self) -> None:
+        while not self.stop.is_set():
+            roll = self.rng.random()
+            if roll < 0.35:
+                victim = self.rng.choice(self.participants)
+                session = victim.session
+                if session is not None:
+                    try:
+                        session.cancel_running()
+                    except Exception:
+                        pass
+            elif roll < 0.6:
+                running = get_query_registry().list_running()
+                if running:
+                    self.db.sql(f"KILL {self.rng.choice(running).query_id}")
+            time.sleep(self.rng.uniform(0.001, 0.008))
+
+
+def test_chaos_mvcc_invariants():
+    baseline_threads = set(threading.enumerate())
+    rng = random.Random(SEED)
+
+    db = Database()
+    tables = []
+    for i in range(WRITERS):
+        db.sql(f"CREATE TABLE m{i} (a INT, b INT)")
+        db.sql(
+            f"INSERT INTO m{i} VALUES "
+            + ", ".join(f"({k}, {k % 11})" for k in range(200))
+        )
+        tables.append(f"m{i}")
+    seed_statements = [
+        f"INSERT INTO m{i} VALUES "
+        + ", ".join(f"({k}, {k % 11})" for k in range(200))
+        for i in range(WRITERS)
+    ]
+
+    cdb = ConcurrentDatabase(db)
+    stop_readers = threading.Event()
+    writers = [_Writer(cdb, i, seed=rng.randrange(2**31)) for i in range(WRITERS)]
+    readers = [
+        _Reader(cdb, i, seed=rng.randrange(2**31), stop=stop_readers)
+        for i in range(READERS)
+    ]
+    chaos = _Chaos(db, writers + readers, seed=rng.randrange(2**31))
+    for thread in readers + writers:
+        thread.start()
+    chaos.start()
+    for writer in writers:
+        writer.join(timeout=120.0)
+    stop_readers.set()
+    for reader in readers:
+        reader.join(timeout=30.0)
+    chaos.stop.set()
+    chaos.join(timeout=10.0)
+
+    # 1. Nothing hung, nothing unclassified, snapshots never drifted.
+    for thread in writers + readers:
+        assert not thread.is_alive(), f"{thread.name} hung"
+        assert not thread.failures, (
+            f"{thread.name} hit unclassified outcomes: "
+            + "; ".join(repr(f) for f in thread.failures)
+        )
+    for reader in readers:
+        assert not reader.mismatches, (
+            "snapshot reads drifted under concurrent writers:\n"
+            + "\n".join(reader.mismatches)
+        )
+    assert sum(r.rounds_compared for r in readers) > 0, "readers were starved"
+    ok_statements = sum(w.outcomes.get("ok", 0) for w in writers)
+    assert ok_statements > 0, "chaos starved every writer"
+
+    # 2. Zero leaked reader registrations, no leaked governance state.
+    assert len(db.mvcc.readers) == 0
+    assert len(get_query_registry()) == 0
+    assert get_memory_governor().reserved_bytes == 0
+
+    # 3. GC drains to the live epoch once no reader holds it back.
+    cdb.vacuum()
+    for table in tables:
+        index = db.table(table).columnstore
+        assert index.retired_counts == (0, 0), f"{table} kept dead versions"
+    assert (
+        metrics.get_registry().gauge("mvcc.oldest_active_epoch") == db.mvcc.current
+    )
+    repeat = cdb.vacuum()
+    assert repeat == {"groups": 0, "deltas": 0, "tombstones": 0}
+
+    # 4. Bit-identical to a chaos-free serial replay of committed work.
+    survived = fingerprint(db, tables)
+    replay = Database()
+    for i, seed_statement in enumerate(seed_statements):
+        replay.sql(f"CREATE TABLE m{i} (a INT, b INT)")
+        replay.sql(seed_statement)
+    for writer in writers:
+        for statement in writer.committed:
+            replay.sql(statement)
+    assert survived == fingerprint(replay, tables), (
+        "chaos survivor diverged from clean replay"
+    )
+
+    # 5. Offline integrity check of the saved survivor state.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "chaos-mvcc-db")
+        db.save(path)
+        report = Database.check(path)
+        assert report.ok, "\n".join(report.render())
+
+    cdb.close()
+
+    # 6. No leaked threads once sessions wind down.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leaked = set(threading.enumerate()) - baseline_threads
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert not leaked, f"leaked threads: {[t.name for t in leaked]}"

@@ -1,0 +1,84 @@
+"""Satellite: ``Database.save()`` while reader epochs are registered.
+
+A checkpoint must be a pure read of the *current* committed state — it
+must never collect version chains that registered readers still need,
+and the image it writes must match the live state (not any held
+snapshot).
+"""
+
+import pytest
+
+from repro import Database, StoreConfig, schema, types
+from repro.concurrency import ConcurrentDatabase
+
+from .test_snapshot_reads import count_sum_at
+
+
+@pytest.fixture
+def config():
+    return StoreConfig(rowgroup_size=64, bulk_load_threshold=40, delta_close_rows=32)
+
+
+@pytest.fixture
+def sch():
+    return schema(("id", types.INT, False), ("v", types.INT))
+
+
+class TestSaveUnderReaders:
+    def test_save_mid_read_does_not_gc_visible_chains(self, config, sch, tmp_path):
+        db = Database(config)
+        db.create_table("t", sch)
+        db.insert("t", [(i, i) for i in range(100)])
+        lease = db.mvcc.readers.pin(tag="mid-read")
+        try:
+            db.sql("DELETE FROM t WHERE id < 40")
+            db.rebuild("t")  # retires every pre-delete group/delta
+            index = db.table("t").columnstore
+            retired_before = index.retired_counts
+            assert sum(retired_before) > 0
+            db.save(str(tmp_path / "snap"))
+            # The checkpoint read the live state; the version chains the
+            # lease still needs are untouched and still resolve exactly.
+            assert index.retired_counts == retired_before
+            assert count_sum_at(db, lease.epoch) == (100, sum(range(100)))
+            assert count_sum_at(db, db.mvcc.current) == (60, sum(range(40, 100)))
+            assert len(db.mvcc.readers) == 1
+        finally:
+            lease.release()
+        assert len(db.mvcc.readers) == 0
+
+    def test_saved_image_is_current_state_not_held_snapshot(
+        self, config, sch, tmp_path
+    ):
+        db = Database(config)
+        db.create_table("t", sch)
+        db.insert("t", [(i, i) for i in range(100)])
+        lease = db.mvcc.readers.pin()
+        try:
+            db.sql("DELETE FROM t WHERE id >= 50")
+            db.save(str(tmp_path / "snap"))
+        finally:
+            lease.release()
+        loaded = Database.load(str(tmp_path / "snap"))
+        result = loaded.sql("SELECT COUNT(*) AS n, SUM(v) AS s FROM t")
+        assert result.rows[0] == (50, sum(range(50)))
+
+    def test_concurrent_save_keeps_session_snapshot_repeatable(
+        self, config, sch, tmp_path
+    ):
+        with ConcurrentDatabase(Database(config)) as cdb:
+            cdb.db.create_table("t", sch)
+            cdb.db.insert("t", [(i, i) for i in range(80)])
+            reader = cdb.session("reader")
+            writer = cdb.session("writer")
+            reader.hold_snapshot()
+            baseline = reader.sql("SELECT COUNT(*) AS n, SUM(v) AS s FROM t").rows
+            writer.sql("DELETE FROM t WHERE id % 2 = 0")
+            cdb.save(str(tmp_path / "snap"))
+            assert (
+                reader.sql("SELECT COUNT(*) AS n, SUM(v) AS s FROM t").rows == baseline
+            )
+            reader.release_snapshot()
+        loaded = Database.load(str(tmp_path / "snap"))
+        assert loaded.sql("SELECT COUNT(*) AS n FROM t").scalar() == 40
+        Database.check(str(tmp_path / "snap"))
