@@ -1,0 +1,220 @@
+"""E22 — Hot backup and point-in-time restore cost.
+
+Three questions the backup subsystem must answer quantitatively:
+
+1. What does the barrier cost the writers? The backup's exclusive phase
+   is a flush + a handful of metadata captures; writers stalled behind
+   it should lose microseconds, not the duration of the copy. We measure
+   writer throughput with no backup, then with a backup running
+   mid-stream, and report the slowdown.
+2. What does the copy cost in absolute terms? Bytes and files per
+   second, from the engine's ``backup.*`` counters, not wall clock
+   alone.
+3. What does restore cost? Records replayed per second via the restore
+   path (image lay-down + clipped-WAL replay through ``Database.load``),
+   and how point-in-time targets scale with distance past the base
+   image.
+
+Expected shape: writers keep committing for the whole copy (the copy
+holds no lock — the slowdown is CPU sharing, bounded well below a
+stall); restore replay within a small factor of plain recovery replay
+(E16) — it IS the same replay path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from conftest import save_report, scaled
+from repro.backup import restore_backup
+from repro.bench.harness import ReportTable
+from repro.concurrency.database import ConcurrentDatabase
+from repro.db.database import Database
+from repro.observability import MetricsRegistry
+from repro.observability.registry import set_registry
+from repro.storage.config import StoreConfig
+
+_CONFIG = StoreConfig(rowgroup_size=4096, bulk_load_threshold=1000)
+
+
+def _seed_database(path, rows: int) -> ConcurrentDatabase:
+    cdb = ConcurrentDatabase.open(
+        str(path), durability="group", default_config=_CONFIG
+    )
+    cdb.sql("CREATE TABLE s (id INT NOT NULL, grp VARCHAR, v FLOAT)")
+    for base in range(0, rows, 1000):
+        cdb.db.insert(
+            "s",
+            [
+                (base + i, f"g{i % 7}", float(i % 100))
+                for i in range(min(1000, rows - base))
+            ],
+        )
+    cdb.save(str(path))
+    return cdb
+
+
+def _writer_throughput(cdb, statements: int, concurrent_backup=None) -> dict:
+    """Insert ``statements`` single-row statements; optionally kick off a
+    backup once a third of them have landed."""
+    backup_result = {}
+    backup_thread = None
+    start = time.perf_counter()
+    for i in range(statements):
+        if concurrent_backup is not None and i == statements // 3:
+
+            def run_backup():
+                backup_result["result"] = cdb.backup(concurrent_backup)
+
+            backup_thread = threading.Thread(target=run_backup)
+            backup_thread.start()
+        cdb.sql(f"INSERT INTO s VALUES ({10_000_000 + i}, 'w', {float(i)})")
+    elapsed = time.perf_counter() - start
+    if backup_thread is not None:
+        backup_thread.join()
+    return {
+        "seconds": elapsed,
+        "stmt_per_s": statements / elapsed,
+        "backup": backup_result.get("result"),
+    }
+
+
+def run_backup_bench(tmp_path, rows: int, statements: int) -> dict:
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        cdb = _seed_database(tmp_path / "src", rows)
+        baseline = _writer_throughput(cdb, statements)
+        hot = _writer_throughput(
+            cdb, statements, concurrent_backup=str(tmp_path / "bk_hot")
+        )
+        # A quiesced backup for the pure copy rate.
+        start = time.perf_counter()
+        cold = cdb.backup(str(tmp_path / "bk_cold"))
+        cold_seconds = time.perf_counter() - start
+        cdb.close()
+        counters = registry.snapshot()
+    finally:
+        set_registry(previous)
+    return {
+        "baseline": baseline,
+        "hot": hot,
+        "cold": cold,
+        "cold_seconds": cold_seconds,
+        "counters": counters,
+    }
+
+
+def run_restore_bench(tmp_path, backup_dir, archive_dir, targets) -> list[dict]:
+    results = []
+    for label, to_lsn in targets:
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            dest = tmp_path / f"restore_{label}"
+            start = time.perf_counter()
+            restored = restore_backup(
+                backup_dir, dest, to_lsn=to_lsn, archive=archive_dir
+            )
+            db = Database.load(str(dest))
+            elapsed = time.perf_counter() - start
+            replayed = registry.snapshot().get("storage.wal.replay.records", 0)
+            count = db.sql("SELECT COUNT(*) AS n FROM s").scalar()
+            db.close()
+        finally:
+            set_registry(previous)
+        results.append(
+            {
+                "label": label,
+                "target_lsn": restored.target_lsn,
+                "records": restored.records,
+                "replayed": replayed,
+                "rows": count,
+                "seconds": elapsed,
+                "records_per_s": max(replayed, 1) / elapsed,
+            }
+        )
+    return results
+
+
+def test_e22_backup_restore(benchmark, report_dir, tmp_path):
+    rows = scaled(20_000)
+    statements = max(300, scaled(1000) // 2)
+
+    def run():
+        return run_backup_bench(tmp_path, rows, statements)
+
+    bench = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline, hot, cold = bench["baseline"], bench["hot"], bench["cold"]
+    slowdown = baseline["stmt_per_s"] / hot["stmt_per_s"]
+
+    report = ReportTable(
+        f"E22: hot backup under load ({rows:,} base rows, "
+        f"{statements} writer statements)",
+        ["scenario", "stmt/s", "slowdown", "backup MB", "files", "copy s"],
+    )
+    report.add_row(
+        "writers only", f"{baseline['stmt_per_s']:,.0f}", "1.00x", "-", "-", "-"
+    )
+    report.add_row(
+        "writers + hot backup",
+        f"{hot['stmt_per_s']:,.0f}",
+        f"{slowdown:.2f}x",
+        f"{hot['backup'].bytes / 1e6:.1f}",
+        hot["backup"].files,
+        "-",
+    )
+    report.add_row(
+        "quiesced backup",
+        "-",
+        "-",
+        f"{cold.bytes / 1e6:.1f}",
+        cold.files,
+        f"{bench['cold_seconds']:.2f}",
+    )
+    report.add_note(
+        "only the barrier (flush + epoch pin + manifest capture) excludes "
+        "writers; the copy runs lock-free"
+    )
+
+    # Restore: to the cold backup's cut, using the source archive for
+    # nothing (the backup's own WAL suffices at its cut line).
+    restores = run_restore_bench(
+        tmp_path,
+        tmp_path / "bk_cold",
+        (tmp_path / "src" / "wal_archive"),
+        [("to-cut", None)],
+    )
+    restore_report = ReportTable(
+        "E22: restore cost (image lay-down + clipped-WAL replay)",
+        ["target", "wal records", "replayed", "rows", "seconds", "records/s"],
+    )
+    for r in restores:
+        restore_report.add_row(
+            r["label"],
+            r["records"],
+            int(r["replayed"]),
+            f"{r['rows']:,}",
+            f"{r['seconds']:.2f}",
+            f"{r['records_per_s']:,.0f}",
+        )
+    save_report(
+        report_dir,
+        "e22_backup.txt",
+        report.render() + "\n\n" + restore_report.render(),
+    )
+
+    # Acceptance: writers keep making progress through the whole copy.
+    # In-process, the copy shares the GIL with the writers, so some
+    # slowdown is CPU contention — but a copy that held the write lock
+    # would stall writers for its full duration, an order of magnitude
+    # worse than this bound.
+    assert slowdown < 6.0, (
+        f"hot backup slowed writers {slowdown:.2f}x — the copy phase "
+        "looks lock-bound, not CPU-bound"
+    )
+    # The restored database holds every row committed before the cut.
+    assert restores[0]["rows"] >= rows
+    # The backup captured real data.
+    assert cold.bytes > 0 and cold.files > 0

@@ -1,0 +1,50 @@
+"""Hot backup, WAL archiving, and point-in-time recovery.
+
+Three cooperating pieces (DESIGN.md "Backup & point-in-time recovery"):
+
+* :mod:`~repro.backup.backup` — a consistent, checksummed image of a
+  *live* database: barrier (pin epoch, capture manifest bytes, defer
+  checkpoints) then copy, committed by ``BACKUP_MANIFEST.json`` and
+  verified by read-back.
+* :mod:`~repro.backup.archive` — sealed WAL segments copied aside on
+  rotation and before checkpoint truncation, turning the recovery log
+  into replayable history; retention bounded by the oldest registered
+  backup.
+* :mod:`~repro.backup.restore` — lay a backup down, clip the WAL at a
+  commit boundary, and let the engine's own replay do the rest.
+"""
+
+from .archive import ARCHIVE_DIR_NAME, WalArchiver, check_archive
+from .backup import BackupJob, BackupResult, backup_database, prepare_backup
+from .manifest import (
+    BACKUP_MANIFEST_NAME,
+    RESTORE_MARKER_NAME,
+    BackupManifest,
+    load_backup_manifest,
+    verify_backup,
+)
+from .restore import (
+    RestoreResult,
+    commit_boundaries,
+    resolve_target,
+    restore_backup,
+)
+
+__all__ = [
+    "ARCHIVE_DIR_NAME",
+    "BACKUP_MANIFEST_NAME",
+    "RESTORE_MARKER_NAME",
+    "BackupJob",
+    "BackupManifest",
+    "BackupResult",
+    "RestoreResult",
+    "WalArchiver",
+    "backup_database",
+    "check_archive",
+    "commit_boundaries",
+    "load_backup_manifest",
+    "prepare_backup",
+    "resolve_target",
+    "restore_backup",
+    "verify_backup",
+]

@@ -1,7 +1,16 @@
 """Interactive SQL shell: ``python -m repro [database-dir]``.
 
 ``python -m repro check <dir>`` runs the offline integrity scan instead
-(per-file checksum + decode verdicts; exit status 1 if anything is bad).
+(per-file checksum + decode verdicts, WAL and WAL-archive verdicts; exit
+status 1 if anything is bad — including archived segments a restore
+would need but cannot reach).
+
+``python -m repro backup <dir> <dest>`` takes a consistent, checksummed
+backup (base image + covered WAL prefix) into ``dest``.
+
+``python -m repro restore <backup> <dest> [--to-lsn N | --to-txn T |
+--latest] [--archive DIR]`` restores a backup, replaying archived WAL up
+to the requested commit boundary (``--latest`` is the default).
 
 ``python -m repro serve <dir> [--host H] [--port N]`` hosts the database
 on a local socket: one session per connection, JSON-lines protocol,
@@ -20,7 +29,8 @@ A small REPL over :class:`repro.Database` with psql-style meta-commands:
     \\save <dir>          persist the database (checkpoints the WAL)
     \\open <dir>          open a database with a write-ahead log
     \\check <dir>         verify a saved database (checksums, WAL, decode)
-    \\wal                 show write-ahead log status
+    \\backup <dir>        hot-backup the open database into <dir>
+    \\wal                 show write-ahead log + archive status
     \\durability <mode>   per-commit | group | off
     \\mover <table>       run the tuple mover
     \\rebuild <table>     rebuild the columnstore
@@ -156,6 +166,7 @@ class Shell:
             "\\save": self._meta_save,
             "\\open": self._meta_open,
             "\\check": self._meta_check,
+            "\\backup": self._meta_backup,
             "\\wal": self._meta_wal,
             "\\durability": self._meta_durability,
             "\\mover": self._meta_mover,
@@ -326,11 +337,25 @@ class Shell:
             return ["usage: \\check <directory>"]
         return Database.check(arg).render()
 
+    def _meta_backup(self, arg: str) -> list[str]:
+        if not arg:
+            return ["usage: \\backup <directory>"]
+        if self.db.wal is None:
+            return ["no write-ahead log attached (use \\open <dir>)"]
+        result = self.db.backup(arg)
+        return [
+            f"backup of {result.files} files ({result.bytes:,} bytes) "
+            f"committed to {result.dest}",
+            f"cut at LSN {result.backup_lsn} (epoch {result.epoch}, "
+            f"checkpoint LSN {result.checkpoint_lsn}, "
+            f"{result.wal_records} WAL records)",
+        ]
+
     def _meta_wal(self, arg: str) -> list[str]:
         if self.db.wal is None:
             return ["no write-ahead log attached (use \\open <dir>)"]
         status = self.db.wal.status()
-        return [
+        out = [
             f"durability: {status['durability']} "
             f"(group size {status['group_commit_size']})",
             f"last LSN: {status['last_lsn']} "
@@ -338,6 +363,15 @@ class Shell:
             f"{status['pending_commits']} commits pending)",
             f"segments: {status['segments']} ({status['bytes']:,} bytes)",
         ]
+        archive = status.get("archive")
+        if archive is not None:
+            out.append(
+                f"archive: {archive['archived_segments']} segments archived "
+                f"(last archived LSN {archive['last_archived_lsn']}), "
+                f"{archive['pending_segments']} live segments pending, "
+                f"{archive['registered_backups']} backups registered"
+            )
+        return out
 
     def _meta_durability(self, arg: str) -> list[str]:
         if self.db.wal is None:
@@ -453,6 +487,86 @@ def main(argv: list[str] | None = None) -> int:
         except (ReproError, OSError) as exc:
             print(f"check failed: {exc}")
             return 1
+        print("\n".join(report.render()))
+        return 0 if report.ok else 1
+    if args and args[0] == "backup":
+        # `repro backup <dir> <dest>`: open the database (replaying its
+        # WAL) and take a verified hot backup. Exit 0 only when the
+        # backup committed and passed read-back verification.
+        if len(args) != 3:
+            print("usage: python -m repro backup <directory> <dest>")
+            return 2
+        try:
+            db = Database.load(args[1], durability=durability)
+            try:
+                result = db.backup(args[2])
+            finally:
+                db.close()
+        except (ReproError, OSError) as exc:
+            print(f"backup failed: {exc}")
+            return 1
+        print(
+            f"backup of {result.files} files ({result.bytes:,} bytes) "
+            f"committed to {result.dest}"
+        )
+        print(
+            f"cut at LSN {result.backup_lsn} (epoch {result.epoch}, "
+            f"checkpoint LSN {result.checkpoint_lsn}, "
+            f"{result.wal_records} WAL records)"
+        )
+        return 0
+    if args and args[0] == "restore":
+        # `repro restore <backup> <dest> [--to-lsn N | --to-txn T |
+        # --latest] [--archive DIR]`: point-in-time restore. A target
+        # the available history cannot reach (mid-transaction LSN, or
+        # past what the archive holds) exits nonzero with the nearest
+        # valid boundaries named.
+        usage = (
+            "usage: python -m repro restore <backup> <dest> "
+            "[--to-lsn N | --to-txn T | --latest] [--archive DIR]"
+        )
+        rest = args[1:]
+        to_lsn = to_txn = None
+        archive_dir = None
+        for flag in ("--to-lsn", "--to-txn", "--archive"):
+            if flag not in rest:
+                continue
+            at = rest.index(flag)
+            if at + 1 >= len(rest):
+                print(usage)
+                return 2
+            value = rest[at + 1]
+            if flag == "--archive":
+                archive_dir = value
+            else:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    print(f"invalid {flag} value {value!r}")
+                    return 2
+                if flag == "--to-lsn":
+                    to_lsn = parsed
+                else:
+                    to_txn = parsed
+            del rest[at : at + 2]
+        rest = [a for a in rest if a != "--latest"]
+        if len(rest) != 2:
+            print(usage)
+            return 2
+        from .backup.restore import restore_backup
+
+        try:
+            result = restore_backup(
+                rest[0], rest[1], to_lsn=to_lsn, to_txn=to_txn, archive=archive_dir
+            )
+        except (ReproError, OSError) as exc:
+            print(f"restore failed: {exc}")
+            return 1
+        print(
+            f"restored {rest[0]} to {result.dest} at LSN {result.target_lsn} "
+            f"({result.records} WAL records laid down for replay)"
+        )
+        report = Database.check(result.dest)
         print("\n".join(report.render()))
         return 0 if report.ok else 1
     shell = Shell(stats=stats, durability=durability)

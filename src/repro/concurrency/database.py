@@ -117,6 +117,23 @@ class ConcurrentDatabase:
         with self.lock.write_locked():
             self.db.save(path, disk=disk, force=force)
 
+    def backup(self, dest: str, disk=None, barrier_hook=None):
+        """Hot-backup the shared database into ``dest``.
+
+        Only the *barrier* (flush the WAL, capture the backup LSN, pin
+        the MVCC epoch, capture the snapshot manifest) runs under the
+        write lock — an instant, no I/O proportional to data size. The
+        long copy phase runs with the lock released: sessions keep
+        reading and committing, and everything they commit lands after
+        the backup's cut line. Returns a
+        :class:`~repro.backup.backup.BackupResult`.
+        """
+        from ..backup.backup import prepare_backup
+
+        with self.lock.write_locked():
+            job = prepare_backup(self.db, dest, disk=disk, barrier_hook=barrier_hook)
+        return job.run()
+
     def vacuum(self, table: str | None = None) -> dict[str, int]:
         """Free MVCC versions no registered reader can see.
 

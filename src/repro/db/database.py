@@ -102,6 +102,10 @@ class Database:
         # with a private manager; create_table and load() swap this one
         # in so commits across tables advance one clock.
         self.mvcc = EpochManager()
+        # Hot backups currently copying (repro.backup): while nonzero,
+        # save() defers the checkpoint so neither snapshot GC nor WAL
+        # truncation can delete files a backup is reading.
+        self._backups_in_flight = 0
         # Governance settings (statement_timeout / query_memory_budget /
         # query_memory_limit); sessions overlay their own on top.
         self.settings: dict[str, int] = {}
@@ -135,12 +139,26 @@ class Database:
         """Flush any pending group-commit window. Safe to call twice.
 
         An open transaction is rolled back first — close() without
-        COMMIT means the work was never promised.
+        COMMIT means the work was never promised. Reader leases still
+        registered at close are released *loudly*: a leaked lease would
+        have pinned the GC horizon forever, so it is a caller bug worth
+        a warning and a counter, not something to ignore quietly.
         """
         if self._txn is not None:
             # Teardown path: pass the transaction's own owner tag so an
             # abandoned session transaction still rolls back cleanly.
             self.rollback(self._txn.owner)
+        leaked = self.mvcc.readers.release_all()
+        if leaked:
+            import warnings
+
+            metrics.increment("mvcc.leases_leaked", leaked)
+            warnings.warn(
+                f"Database.close() released {leaked} reader lease(s) that "
+                "were never released — a session forgot release_snapshot()",
+                ResourceWarning,
+                stacklevel=2,
+            )
         if self._wal is not None:
             self._wal.close()
 
@@ -824,6 +842,13 @@ class Database:
         # would need to undo-by-omission). Refuse; the checkpoint runs
         # after COMMIT/ROLLBACK.
         self._require_no_txn("save (checkpoint)")
+        if self._backups_in_flight > 0:
+            # A hot backup is copying this directory: a checkpoint now
+            # would garbage-collect the snapshot directory and truncate
+            # the WAL segments the copy is reading. Defer — the WAL
+            # keeps everything recoverable until the next checkpoint.
+            obs_metrics.increment("backup.checkpoints_deferred")
+            return
         disk = disk or DiskIO()
         root = Path(path)
         resolved = str(root.resolve())
@@ -877,6 +902,24 @@ class Database:
                 wal.truncate_covered(checkpoint_lsn)
             self._save_fingerprint = fingerprint
 
+    def backup(self, dest: str, disk=None, barrier_hook=None):
+        """Hot-backup this database into the fresh directory ``dest``.
+
+        Takes a consistent, checksummed image — base snapshot, covered
+        WAL prefix clipped at the backup LSN — while writers keep
+        committing (:mod:`repro.backup.backup`). The backup pins an MVCC
+        reader lease for its duration; restoring the image reproduces
+        exactly the pinned epoch's visible state. Returns a
+        :class:`~repro.backup.backup.BackupResult`.
+
+        Single-caller use only — sessions go through
+        :meth:`ConcurrentDatabase.backup`, which holds the write lock
+        for the barrier phase.
+        """
+        from ..backup.backup import backup_database
+
+        return backup_database(self, dest, disk=disk, barrier_hook=barrier_hook)
+
     @classmethod
     def load(
         cls,
@@ -910,6 +953,14 @@ class Database:
 
         disk = disk or DiskIO()
         root = Path(path)
+        from ..backup.manifest import RESTORE_MARKER_NAME
+
+        if disk.exists(root / RESTORE_MARKER_NAME):
+            raise RecoveryError(
+                f"{root} holds an uncommitted restore (its "
+                f"{RESTORE_MARKER_NAME} marker is present) — the restore "
+                "crashed before completing; re-run it or delete the directory"
+            )
         wal_dir = root / WAL_DIR_NAME
         has_wal = disk.is_dir(wal_dir)
         try:
@@ -972,6 +1023,14 @@ class Database:
             # Attach only after replay so nothing replayed is re-logged.
             db._wal = wal
             db._wal_root = resolved
+            # WAL archiving is on by default for durable databases:
+            # sealed segments are copied aside before anything deletes
+            # them, which is what makes point-in-time recovery past the
+            # latest backup possible. set_archiver also catches up on
+            # segments sealed while no archiver was attached.
+            from ..backup.archive import ARCHIVE_DIR_NAME, WalArchiver
+
+            wal.set_archiver(WalArchiver(disk, root / ARCHIVE_DIR_NAME))
             if replayed == 0 and reader is not None:
                 db._save_fingerprint = db._fingerprint(resolved)
         else:
@@ -1024,6 +1083,9 @@ class Database:
         )
         db._wal = wal
         db._wal_root = str(root.resolve())
+        from ..backup.archive import ARCHIVE_DIR_NAME, WalArchiver
+
+        wal.set_archiver(WalArchiver(disk, root / ARCHIVE_DIR_NAME))
         return db
 
     @staticmethod

@@ -105,6 +105,47 @@ class ReplayError(StorageError):
     """
 
 
+class BackupError(StorageError):
+    """A backup image is unusable or could not be taken.
+
+    Raised when a backup manifest is missing/corrupt, a file listed in it
+    fails size/CRC verification, or the read-back verification of a
+    freshly written backup fails. A backup that raises this is *never*
+    restorable-as-valid — restore refuses before touching the destination.
+    """
+
+
+class RestoreError(StorageError):
+    """A restore could not run or could not complete.
+
+    Covers a non-empty destination, a missing/gapped WAL archive, and
+    interrupted-restore markers. Distinct from :class:`BackupError`,
+    which means the *source* image is bad.
+    """
+
+
+class RestoreTargetError(RestoreError):
+    """The requested point-in-time target is not a commit boundary.
+
+    Raised for ``--to-lsn`` values that land inside an explicit
+    transaction (or on no record at all) and for ``--to-txn`` ids that
+    never committed in the available log. The message names the
+    enclosing transaction and the nearest valid boundaries.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        target: int | None = None,
+        previous_boundary: int | None = None,
+        next_boundary: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.target = target
+        self.previous_boundary = previous_boundary
+        self.next_boundary = next_boundary
+
+
 class TxnError(ReproError):
     """Misuse of the transaction API.
 

@@ -111,6 +111,21 @@ class ReaderRegistry:
         with self._mutex:
             return min(self._leases.values()) if self._leases else None
 
+    def release_all(self) -> int:
+        """Forcibly release every registered lease; returns the count.
+
+        The shutdown path: a lease leaked past :meth:`Database.close`
+        would hold the GC horizon back forever. Outstanding
+        :class:`ReaderLease` objects stay safe to release again — their
+        keys are simply gone from the registry.
+        """
+        with self._mutex:
+            count = len(self._leases)
+            self._leases.clear()
+        if count:
+            self._publish_gauges()
+        return count
+
     def __len__(self) -> int:
         with self._mutex:
             return len(self._leases)

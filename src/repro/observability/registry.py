@@ -79,6 +79,19 @@ STABLE_COUNTERS = (
     "mvcc.reader_pins",
     "mvcc.oldest_active_epoch",
     "mvcc.lockfree_reads",
+    "mvcc.leases_leaked",
+    "backup.started",
+    "backup.completed",
+    "backup.failed",
+    "backup.files_copied",
+    "backup.bytes_copied",
+    "backup.checkpoints_deferred",
+    "restore.completed",
+    "restore.records_restored",
+    "wal.archive.segments_archived",
+    "wal.archive.bytes",
+    "wal.archive.segments_pruned",
+    "wal.archive.failures",
     "governance.statements_timed_out",
     "governance.statements_cancelled",
     "governance.statements_killed",

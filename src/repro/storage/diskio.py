@@ -108,6 +108,19 @@ class DiskIO:
         finally:
             os.close(fd)
 
+    def sync_dir(self, path: Path) -> None:
+        """fsync a directory, persisting its entries.
+
+        ``fsync`` of a file makes its *bytes* durable but not the
+        directory entry that names it: on a metadata-lazy filesystem a
+        power cut can leave a fully-fsynced file unreachable. Callers
+        that create files via :meth:`append_file` (the WAL's segment
+        creation) must sync the parent directory too —
+        :meth:`write_file`/:meth:`rename` already do this internally as
+        part of the atomic-rename protocol.
+        """
+        self._fsync_dir(Path(path))
+
     def file_size(self, path: Path) -> int:
         """Size of a file in bytes; 0 if it does not exist."""
         try:
@@ -201,10 +214,17 @@ class FaultyDisk(DiskIO):
         appends that were never followed by a :meth:`sync_file` are
         rolled back (the file truncated to its last-synced length) when
         the crash fires — the honest power-cut model for group commit,
-        where a commit is durable only once its fsync completed.
+        where a commit is durable only once its fsync completed. Files
+        *created* by :meth:`append_file` whose parent directory was
+        never :meth:`sync_dir`-ed disappear entirely: their directory
+        entry was still unsynced metadata, so the power cut unlinks them
+        no matter how many times the file itself was fsynced. (Files
+        that arrive via :meth:`rename` are exempt — rename fsyncs the
+        destination directory as part of the atomic protocol.)
 
-    Every content write, append, fsync, and rename counts as one write
-    point, so crash sweeps cover the WAL's append/sync sequence too.
+    Every content write, append, fsync (file or directory), and rename
+    counts as one write point, so crash sweeps cover the WAL's
+    append/sync sequence too.
     """
 
     def __init__(
@@ -223,6 +243,10 @@ class FaultyDisk(DiskIO):
         self.ops = 0
         self.dropped_renames: list[str] = []
         self._synced_sizes: dict[str, int] = {}
+        # Directory entries created by append_file whose parent dir was
+        # never sync_dir-ed: parent dir -> set of file paths. A crash
+        # with lose_unsynced_on_crash unlinks these files entirely.
+        self._unsynced_entries: dict[str, set[str]] = {}
 
     def _maybe_crash(
         self, path: Path, data: bytes | None, append: bool = False
@@ -241,6 +265,15 @@ class FaultyDisk(DiskIO):
                     os.truncate(unsynced_path, synced_size)
                 except OSError:  # pragma: no cover - file never created
                     pass
+            # Un-fsynced directory entries never reached the platter:
+            # the files they name are unreachable after the power cut,
+            # however thoroughly their contents were fsynced.
+            for entries in self._unsynced_entries.values():
+                for entry_path in entries:
+                    try:
+                        os.remove(entry_path)
+                    except OSError:  # pragma: no cover - never created
+                        pass
         raise InjectedFault(
             f"simulated crash at write point {self.ops} ({Path(path).name})"
         )
@@ -253,6 +286,10 @@ class FaultyDisk(DiskIO):
     def append_file(self, path: Path, data: bytes) -> None:
         self._maybe_crash(path, data, append=True)
         if self.lose_unsynced_on_crash:
+            if not self.exists(path):
+                self._unsynced_entries.setdefault(
+                    str(Path(path).parent), set()
+                ).add(str(path))
             self._synced_sizes.setdefault(str(path), self.file_size(path))
         super().append_file(path, data)
         self.ops += 1
@@ -263,6 +300,12 @@ class FaultyDisk(DiskIO):
         self._synced_sizes.pop(str(path), None)
         self.ops += 1
 
+    def sync_dir(self, path: Path) -> None:
+        self._maybe_crash(path, None)
+        super().sync_dir(path)
+        self._unsynced_entries.pop(str(Path(path)), None)
+        self.ops += 1
+
     def rename(self, src: Path, dst: Path) -> None:
         self._maybe_crash(dst, None)
         if self.drop_rename_of is not None and self.drop_rename_of in str(dst):
@@ -271,6 +314,9 @@ class FaultyDisk(DiskIO):
             self.ops += 1
             return
         super().rename(src, dst)
+        # rename fsyncs the destination directory, so every entry in it
+        # (not just the renamed one) is durable from here on.
+        self._unsynced_entries.pop(str(Path(dst).parent), None)
         self.ops += 1
 
     def read_file(self, path: Path) -> bytes:

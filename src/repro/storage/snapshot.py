@@ -187,6 +187,12 @@ class SnapshotWriter:
             files=list(self._entries),
             checkpoint_lsn=checkpoint_lsn,
         )
+        # The snap_<id>/ directory entry must be durable *before* the
+        # manifest names it: file writes fsync their own parent (the
+        # snapshot directory) but not the root, so without this a power
+        # cut right after the manifest rename could commit a manifest
+        # pointing at a directory whose entry never reached the platter.
+        self.disk.sync_dir(self.root)
         self.disk.write_file(self.root / MANIFEST_NAME, manifest.to_json())
         # Garbage collection is destructive, so read the manifest back
         # and only collect once it provably points at this snapshot — if
@@ -340,13 +346,18 @@ class IntegrityReport:
     detail: str = ""
     checkpoint_lsn: int = 0
     wal_verdicts: list = field(default_factory=list)  # list[WalVerdict]
+    archive_verdicts: list = field(default_factory=list)  # list[WalVerdict]
 
     @property
     def ok(self) -> bool:
         snapshot_ok = self.manifest_status in ("ok", "wal-only") and all(
             v.ok for v in self.verdicts
         )
-        return snapshot_ok and all(v.ok for v in self.wal_verdicts)
+        return (
+            snapshot_ok
+            and all(v.ok for v in self.wal_verdicts)
+            and all(v.ok for v in self.archive_verdicts)
+        )
 
     def render(self) -> list[str]:
         lines = [f"integrity check of {self.root}"]
@@ -370,8 +381,19 @@ class IntegrityReport:
                 if verdict.detail:
                     line += f" ({verdict.detail})"
                 lines.append(line)
-        bad = sum(not v.ok for v in self.verdicts) + sum(
-            not v.ok for v in self.wal_verdicts
+        if self.archive_verdicts:
+            lines.append(
+                f"archive: {len(self.archive_verdicts)} verdicts"
+            )
+            for verdict in self.archive_verdicts:
+                line = f"  wal_archive/{verdict.segment}: {verdict.status}"
+                if verdict.detail:
+                    line += f" ({verdict.detail})"
+                lines.append(line)
+        bad = (
+            sum(not v.ok for v in self.verdicts)
+            + sum(not v.ok for v in self.wal_verdicts)
+            + sum(not v.ok for v in self.archive_verdicts)
         )
         lines.append(
             "result: ok"
@@ -388,9 +410,18 @@ def check_database(disk: DiskIO, root: Path) -> IntegrityReport:
     manifest self-checksum, per-file existence/size/CRC-32C, and that
     every segment blob structurally decodes.
     """
+    from ..backup.archive import ARCHIVE_DIR_NAME, check_archive
+    from ..backup.manifest import RESTORE_MARKER_NAME
     from ..wal.log import WAL_DIR_NAME, check_wal
 
     root = Path(root)
+    if disk.exists(root / RESTORE_MARKER_NAME):
+        return IntegrityReport(
+            root=str(root),
+            manifest_status="restore-in-progress",
+            detail=f"({RESTORE_MARKER_NAME} marker present: an interrupted "
+            "restore — this directory is not a committed database)",
+        )
     wal_dir = root / WAL_DIR_NAME
     has_wal = disk.is_dir(wal_dir)
     if not disk.exists(root / MANIFEST_NAME):
@@ -451,6 +482,8 @@ def check_database(disk: DiskIO, root: Path) -> IntegrityReport:
         report.wal_verdicts = check_wal(
             disk, wal_dir, checkpoint_lsn=manifest.checkpoint_lsn
         )
+    if disk.is_dir(root / ARCHIVE_DIR_NAME):
+        report.archive_verdicts = check_archive(disk, root / ARCHIVE_DIR_NAME)
     return report
 
 

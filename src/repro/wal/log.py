@@ -126,6 +126,11 @@ class WriteAheadLog:
         self._durable_lsn = last_lsn
         self._pending_commits = 0
         self._segments: list[_Segment] = list(segments or [])
+        # Optional WAL archiver (repro.backup.archive.WalArchiver):
+        # sealed segments are copied into the archive on rotation and
+        # before checkpoint truncation deletes them, which is what makes
+        # point-in-time recovery past the latest backup possible.
+        self.archiver = None
 
     # ------------------------------------------------------------------ #
     # Opening / recovery
@@ -240,7 +245,14 @@ class WriteAheadLog:
             lsn = self._last_lsn + 1
             frame = encode_record(rtype, lsn, table, payload, txn_id)
             segment = self._segment_for_append(lsn, len(frame))
+            created = segment.size == 0
             self.disk.append_file(segment.path, frame)
+            if created:
+                # The append created the segment file; persist its
+                # directory entry now. Without this a power cut could
+                # unlink the file on a metadata-lazy filesystem no
+                # matter how many times its *contents* were fsynced.
+                self.disk.sync_dir(self.root)
             segment.size += len(frame)
             segment.last_lsn = lsn
             self._last_lsn = lsn
@@ -259,6 +271,11 @@ class WriteAheadLog:
         # the log while keeping its end.
         if tail is not None and self._durable_lsn < tail.last_lsn:
             self._fsync_tail()
+        if tail is not None:
+            # The outgoing tail is sealed: archive it now so the archive
+            # tracks rotation instead of lagging until the next
+            # checkpoint truncation.
+            self._archive(tail)
         segment = _Segment(
             path=self.root / _segment_name(lsn), first_lsn=lsn, size=0, last_lsn=lsn - 1
         )
@@ -305,6 +322,46 @@ class WriteAheadLog:
                 metrics.increment("storage.wal.fsyncs")
         self._durable_lsn = self._last_lsn
 
+    # ------------------------------------------------------------------ #
+    # Archiving
+    # ------------------------------------------------------------------ #
+    def set_archiver(self, archiver) -> None:
+        """Attach a segment archiver and catch up on sealed segments.
+
+        ``archiver`` is duck-typed (see
+        :class:`repro.backup.archive.WalArchiver`): it must offer
+        ``archive_segment(disk, path, first_lsn)`` and ``prune()``.
+        Catch-up covers segments sealed while no archiver was attached —
+        e.g. rotation immediately followed by a crash, before the
+        rotation hook could run.
+        """
+        with self._lock:
+            self.archiver = archiver
+            for segment in self._segments[:-1]:
+                if segment.size > 0:
+                    self._archive(segment)
+
+    def _archive(self, segment: _Segment) -> bool:
+        """Copy one sealed segment into the archive (best-effort).
+
+        Returns True when the segment is (now) safely archived. A real
+        I/O failure or a CRC failure in the source must not fail the
+        commit path that triggered the rotation — the segment simply
+        stays pending (and, in :meth:`truncate_covered`, stays live) and
+        ``wal.archive.failures`` counts the miss. An
+        :class:`~repro.storage.diskio.InjectedFault` is a simulated
+        power cut and propagates like one.
+        """
+        if self.archiver is None or segment.size == 0:
+            return True
+        try:
+            return self.archiver.archive_segment(
+                self.disk, segment.path, segment.first_lsn
+            )
+        except (OSError, WalCorruptError):
+            metrics.increment("wal.archive.failures")
+            return False
+
     def set_durability(self, mode: str) -> None:
         """Switch durability mode; tightening the mode flushes first."""
         mode = normalize_durability(mode)
@@ -333,6 +390,13 @@ class WriteAheadLog:
             kept: list[_Segment] = []
             for segment in self._segments:
                 if segment.last_lsn <= checkpoint_lsn and segment.size > 0:
+                    # Archive-before-delete: with an archiver attached a
+                    # covered segment may only vanish from the live log
+                    # once the archive provably holds it — otherwise it
+                    # stays live and the next checkpoint retries.
+                    if not self._archive(segment):
+                        kept.append(segment)
+                        continue
                     self.disk.remove(segment.path)
                     removed += 1
                 elif segment.last_lsn <= checkpoint_lsn and segment.size == 0:
@@ -343,6 +407,11 @@ class WriteAheadLog:
             if removed:
                 metrics.increment("storage.wal.segments_deleted", removed)
             metrics.increment("storage.wal.checkpoints")
+            if self.archiver is not None:
+                try:
+                    self.archiver.prune()
+                except OSError:  # pragma: no cover - platform dependent
+                    metrics.increment("wal.archive.failures")
         return removed
 
     # ------------------------------------------------------------------ #
@@ -359,7 +428,7 @@ class WriteAheadLog:
     def status(self) -> dict:
         """A point-in-time summary (the shell's ``\\wal`` command)."""
         with self._lock:
-            return {
+            status = {
                 "durability": self.durability,
                 "group_commit_size": self.group_commit_size,
                 "last_lsn": self._last_lsn,
@@ -368,6 +437,12 @@ class WriteAheadLog:
                 "segments": len([s for s in self._segments if s.size > 0]),
                 "bytes": sum(s.size for s in self._segments),
             }
+            if self.archiver is not None:
+                live = [
+                    s.path.name for s in self._segments if s.size > 0
+                ]
+                status["archive"] = self.archiver.status(live_segments=live)
+            return status
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,125 @@
+"""CLI surface: `repro backup` / `repro restore` and shell meta-commands."""
+
+from __future__ import annotations
+
+from repro.backup import ARCHIVE_DIR_NAME
+from repro.cli import Shell, main
+from repro.db.database import Database
+
+
+def _seed(path):
+    db = Database.open(str(path))
+    db.sql("CREATE TABLE t (id INT NOT NULL, v INT)")
+    for i in range(1, 4):
+        db.sql(f"INSERT INTO t VALUES ({i}, {i * 10})")
+    db.save(str(path))
+    db.sql("INSERT INTO t VALUES (4, 40)")
+    boundary = db.wal.last_lsn
+    db.sql("BEGIN")
+    db.sql("INSERT INTO t VALUES (5, 50)")
+    mid_txn = db.wal.last_lsn
+    db.sql("COMMIT")
+    db.close()
+    return boundary, mid_txn
+
+
+class TestBackupSubcommand:
+    def test_backup_then_restore_roundtrip(self, tmp_path, capsys):
+        boundary, _ = _seed(tmp_path / "src")
+        assert main(["backup", str(tmp_path / "src"), str(tmp_path / "bk")]) == 0
+        out = capsys.readouterr().out
+        assert "committed to" in out and "cut at LSN" in out
+
+        assert main(["restore", str(tmp_path / "bk"), str(tmp_path / "dest")]) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out and "result: ok" in out
+        db = Database.load(str(tmp_path / "dest"))
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 5
+        db.close()
+
+    def test_restore_to_lsn_with_archive(self, tmp_path, capsys):
+        boundary, _ = _seed(tmp_path / "src")
+        assert main(["backup", str(tmp_path / "src"), str(tmp_path / "bk")]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "restore",
+                str(tmp_path / "bk"),
+                str(tmp_path / "dest"),
+                "--to-lsn",
+                str(boundary),
+                "--archive",
+                str(tmp_path / "src" / ARCHIVE_DIR_NAME),
+            ]
+        )
+        assert code == 0
+        assert f"at LSN {boundary}" in capsys.readouterr().out
+        db = Database.load(str(tmp_path / "dest"))
+        assert db.sql("SELECT COUNT(*) AS n FROM t").scalar() == 4
+        db.close()
+
+    def test_mid_transaction_target_fails_with_boundaries(self, tmp_path, capsys):
+        _, mid_txn = _seed(tmp_path / "src")
+        assert main(["backup", str(tmp_path / "src"), str(tmp_path / "bk")]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "restore",
+                str(tmp_path / "bk"),
+                str(tmp_path / "dest"),
+                "--to-lsn",
+                str(mid_txn),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "restore failed" in out and "nearest boundaries" in out
+        assert not (tmp_path / "dest").exists()
+
+    def test_usage_errors(self, tmp_path, capsys):
+        assert main(["backup", str(tmp_path / "src")]) == 2
+        assert "usage" in capsys.readouterr().out
+        assert main(["restore", str(tmp_path / "bk")]) == 2
+        assert "usage" in capsys.readouterr().out
+        assert (
+            main(["restore", str(tmp_path / "bk"), "d", "--to-lsn", "abc"]) == 2
+        )
+        assert "invalid" in capsys.readouterr().out
+
+    def test_backup_of_missing_database_fails(self, tmp_path, capsys):
+        assert main(["backup", str(tmp_path / "nope"), str(tmp_path / "bk")]) == 1
+        assert "backup failed" in capsys.readouterr().out
+
+    def test_check_reports_archive_damage(self, tmp_path, capsys):
+        _seed(tmp_path / "src")
+        assert main(["check", str(tmp_path / "src")]) == 0
+        capsys.readouterr()
+        arch = tmp_path / "src" / ARCHIVE_DIR_NAME
+        seg = next(p for p in sorted(arch.iterdir()) if p.suffix == ".wal")
+        data = bytearray(seg.read_bytes())
+        data[8] ^= 0xFF
+        seg.write_bytes(bytes(data))
+        assert main(["check", str(tmp_path / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "wal_archive" in out and "corrupt" in out
+
+
+class TestShellMetaCommands:
+    def test_backslash_backup_and_wal_status(self, tmp_path):
+        shell = Shell()
+        out = []
+        for line in (
+            f"\\open {tmp_path / 'db'}",
+            "CREATE TABLE t (id INT NOT NULL);",
+            "INSERT INTO t VALUES (1);",
+            f"\\backup {tmp_path / 'bk'}",
+            "\\wal",
+        ):
+            out.extend(shell.feed_line(line))
+        text = "\n".join(out)
+        assert "committed to" in text and "cut at LSN" in text
+        assert "backups registered" in text
+
+    def test_backslash_backup_usage(self):
+        shell = Shell()
+        assert "usage" in "\n".join(shell.feed_line("\\backup"))
