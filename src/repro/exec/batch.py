@@ -202,6 +202,75 @@ class Batch:
         return cls(columns=columns, null_masks=null_masks)
 
 
+@dataclass
+class CodeSpaceColumn:
+    """A dictionary-encoded group key kept in code space (never decoded).
+
+    ``codes`` indexes ``dictionary`` for every row of the unit; NULL rows
+    carry filler code 0 and are flagged by ``null_mask``. The dictionary
+    is duck-typed (a storage ``LocalDictionary``) so this module keeps no
+    storage imports. :meth:`decode_codes` reproduces exactly what the
+    segment's own decode would emit for those codes, so late decoding of
+    surviving group keys stays bit-identical with the decoded path.
+    """
+
+    name: str
+    codes: np.ndarray  # int64, full unit length
+    dictionary: Any
+    null_mask: np.ndarray | None
+    numpy_dtype: np.dtype
+    is_string: bool
+
+    @property
+    def n_codes(self) -> int:
+        return len(self.dictionary)
+
+    def decode_codes(self, codes: np.ndarray) -> np.ndarray:
+        if self.is_string:
+            return self.dictionary.decode(codes)
+        return self.dictionary.decode_typed(codes, self.numpy_dtype)
+
+
+@dataclass
+class WeightedValues:
+    """Distinct values with surviving-row multiplicities.
+
+    One entry per dictionary code or RLE run; ``weights[i]`` counts the
+    surviving non-NULL rows carrying ``values[i]``. Weight-safe for
+    COUNT/MIN/MAX on any dtype and for SUM/AVG only on integer-physical
+    dtypes (int64 wraparound addition is associative, so a dot product
+    matches per-row accumulation bit for bit; float addition is not).
+    """
+
+    values: np.ndarray
+    weights: np.ndarray  # int64, aligned with values
+
+
+@dataclass
+class EncodedAggUnit:
+    """One scan unit handed to the aggregate without full decoding.
+
+    ``keep`` is the full-length qualifying mask (deletes + predicate
+    already folded in); ``row_count`` counts its True entries. ``keys``
+    holds each group key as a :class:`CodeSpaceColumn`; ``weighted``
+    holds scalar-aggregate arguments folded to (values, weights); and
+    ``columns`` carries any argument that had to be decoded anyway as
+    full-length (values, null_mask) pairs.
+    """
+
+    row_count: int
+    keep: np.ndarray
+    keys: list[CodeSpaceColumn]
+    columns: dict[str, tuple[np.ndarray, np.ndarray | None]]
+    weighted: dict[str, WeightedValues]
+
+    @property
+    def active_count(self) -> int:
+        """Qualifying rows, mirroring :attr:`Batch.active_count` so the
+        per-operator instrumentation counts both stream kinds alike."""
+        return self.row_count
+
+
 def concat_batches(batches: list[Batch]) -> Batch | None:
     """Concatenate compacted batches (None when the list is empty)."""
     dense = [b.compact() for b in batches if b.active_count]

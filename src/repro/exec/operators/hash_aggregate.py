@@ -21,7 +21,8 @@ from typing import Any, Iterator
 import numpy as np
 
 from ...errors import ExecutionError
-from ..batch import DEFAULT_BATCH_SIZE, Batch
+from ...observability import registry as metrics
+from ..batch import DEFAULT_BATCH_SIZE, Batch, EncodedAggUnit
 from ..expressions import Column, Expr
 from ..memory import MemoryGrant
 from ..spill import SpillFile, partition_of
@@ -326,6 +327,9 @@ class BatchHashAggregate(BatchOperator):
         self.grant = grant or MemoryGrant()
         self.batch_size = batch_size
         self.stats = AggregateStats()
+        # Set by the planner when the child is a columnstore scan whose
+        # units can be aggregated in encoded space (an EncodedAggRequest).
+        self.encoded_request: Any | None = None
 
     @property
     def output_names(self) -> list[str]:
@@ -333,7 +337,8 @@ class BatchHashAggregate(BatchOperator):
 
     def describe(self) -> str:
         aggs = ", ".join(f"{s.func}({s.expr or '*'}) AS {s.name}" for s in self.aggregates)
-        return f"BatchHashAggregate(keys={self.group_keys}, aggs=[{aggs}])"
+        encoded = ", encoded=on" if self.encoded_request is not None else ""
+        return f"BatchHashAggregate(keys={self.group_keys}, aggs=[{aggs}]{encoded})"
 
     def child_operators(self) -> list[BatchOperator]:
         return [self.child]
@@ -345,11 +350,18 @@ class BatchHashAggregate(BatchOperator):
         state = _GroupState(self.group_keys, self.aggregates)
         spills: list[SpillFile] | None = None
         reserved = 0
-        child_batches = self.child.batches()
+        if self.encoded_request is not None:
+            child_batches = self.child.encoded_agg_batches(self.encoded_request)
+        else:
+            child_batches = self.child.batches()
         for batch in child_batches:
-            self.stats.input_rows += batch.active_count
+            encoded = isinstance(batch, EncodedAggUnit)
+            self.stats.input_rows += batch.row_count if encoded else batch.active_count
             if spills is None:
-                self._accumulate(state, batch)
+                if encoded:
+                    self._accumulate_encoded(state, batch)
+                else:
+                    self._accumulate(state, batch)
                 needed = state.n_groups * _BYTES_PER_GROUP
                 if needed > reserved:
                     if self.grant.try_reserve(needed - reserved):
@@ -364,7 +376,10 @@ class BatchHashAggregate(BatchOperator):
                         state = _GroupState(self.group_keys, self.aggregates)
             else:
                 local = _GroupState(self.group_keys, self.aggregates)
-                self._accumulate(local, batch)
+                if encoded:
+                    self._accumulate_encoded(local, batch)
+                else:
+                    self._accumulate(local, batch)
                 self._spill_partials(local.to_partial_batch(), spills)
 
         if spills is None:
@@ -409,6 +424,146 @@ class BatchHashAggregate(BatchOperator):
             return
         gids = self._factorize(state, batch, active)
         state.update(batch, gids, active)
+
+    # ------------------------------------------------------------------ #
+    # Encoded-space accumulation
+    # ------------------------------------------------------------------ #
+    def _accumulate_encoded(self, state: _GroupState, unit: EncodedAggUnit) -> None:
+        if self.group_keys:
+            self._accumulate_code_space_groups(state, unit)
+        else:
+            self._accumulate_weighted_scalar(state, unit)
+
+    def _accumulate_code_space_groups(
+        self, state: _GroupState, unit: EncodedAggUnit
+    ) -> None:
+        """GROUP BY on dictionary codes.
+
+        Key columns arrive as code streams: surviving rows are combined
+        into one mixed-radix key per row (each key contributes its code,
+        with ``n_codes`` reserved as the NULL slot), factorized with
+        ``np.unique``, and only the surviving combinations are decoded to
+        real group keys at the end.
+        """
+        active = np.flatnonzero(unit.keep)
+        if active.size == 0:
+            return
+        combined = np.zeros(active.size, dtype=np.int64)
+        dims: list[int] = []
+        for key in unit.keys:
+            dim = key.n_codes + 1
+            codes = key.codes[active]
+            if key.null_mask is not None:
+                codes = np.where(key.null_mask[active], key.n_codes, codes)
+            combined = combined * dim + codes
+            dims.append(dim)
+        uniques, inverse = np.unique(combined, return_inverse=True)
+        weights = np.bincount(inverse, minlength=uniques.size).astype(np.int64)
+        metrics.increment("storage.scan.agg_code_space_groups", int(uniques.size))
+
+        # Late decode: only the surviving key combinations become values.
+        work = uniques.copy()
+        per_key: list[list] = []
+        for key, dim in zip(reversed(unit.keys), reversed(dims)):
+            code_arr = work % dim
+            work //= dim
+            null_slot = code_arr == key.n_codes
+            if key.n_codes == 0:
+                values = [None] * code_arr.size
+            else:
+                safe = np.where(null_slot, 0, code_arr)
+                values = [
+                    None if is_null else value
+                    for value, is_null in zip(
+                        key.decode_codes(safe).tolist(), null_slot.tolist()
+                    )
+                ]
+            per_key.append(values)
+        per_key.reverse()
+        gid_map = np.fromiter(
+            (state.gid_of(key) for key in zip(*per_key)),
+            dtype=np.int64,
+            count=uniques.size,
+        )
+        gids = gid_map[inverse]
+
+        for spec_index, spec in enumerate(self.aggregates):
+            if spec.func == COUNT_STAR:
+                np.add.at(state.counts[spec_index], gid_map, weights)
+                continue
+            values, nulls = unit.columns[spec.expr.name]
+            values = values[active]
+            if nulls is not None:
+                present_idx = np.flatnonzero(~nulls[active])
+                present_gids = gids[present_idx]
+                present_values = values[present_idx]
+            else:
+                present_gids = gids
+                present_values = values
+            np.add.at(state.counts[spec_index], present_gids, 1)
+            if spec.func == "count" or present_values.size == 0:
+                continue
+            state._combine_values(spec_index, spec.func, present_gids, present_values)
+
+    def _accumulate_weighted_scalar(
+        self, state: _GroupState, unit: EncodedAggUnit
+    ) -> None:
+        """Scalar aggregates over per-run / per-code weighted values."""
+        gid = state.gid_of(())
+        active: np.ndarray | None = None
+        for spec_index, spec in enumerate(self.aggregates):
+            if spec.func == COUNT_STAR:
+                state.counts[spec_index][gid] += unit.row_count
+                continue
+            name = spec.expr.name
+            folded = unit.weighted.get(name)
+            if folded is not None:
+                self._merge_weighted(state, spec_index, spec.func, gid, folded)
+                continue
+            # Ineligible argument: decoded full-length by the scan.
+            values, nulls = unit.columns[name]
+            if active is None:
+                active = np.flatnonzero(unit.keep)
+            values = values[active]
+            gids = np.full(active.size, gid, dtype=np.int64)
+            if nulls is not None:
+                present_idx = np.flatnonzero(~nulls[active])
+                present_gids = gids[present_idx]
+                present_values = values[present_idx]
+            else:
+                present_gids = gids
+                present_values = values
+            np.add.at(state.counts[spec_index], present_gids, 1)
+            if spec.func == "count" or present_values.size == 0:
+                continue
+            state._combine_values(spec_index, spec.func, present_gids, present_values)
+
+    @staticmethod
+    def _merge_weighted(
+        state: _GroupState, spec_index: int, func: str, gid: int, folded
+    ) -> None:
+        present = int(folded.weights.sum())
+        state.counts[spec_index][gid] += present
+        if func == "count" or present == 0:
+            return
+        surviving = folded.weights > 0
+        values = folded.values[surviving]
+        if func in ("sum", "avg"):
+            # Integer-physical only (the scan gates floats out): int64
+            # wraparound addition is associative, so value·weight matches
+            # the decoded path's element-at-a-time accumulation exactly.
+            contribution = np.dot(
+                values.astype(np.int64), folded.weights[surviving]
+            )
+            state._combine_values(
+                spec_index,
+                func,
+                np.array([gid], dtype=np.int64),
+                np.array([contribution], dtype=np.int64),
+            )
+            return
+        gids = np.full(values.size, gid, dtype=np.int64)
+        state._combine_values(spec_index, func, gids, values)
 
     def _factorize(self, state: _GroupState, batch: Batch, active: np.ndarray) -> np.ndarray:
         """Map each active row to its dense group id."""

@@ -36,7 +36,11 @@ STABLE_COUNTERS = (
     "storage.scan.rows_rejected_by_bitmap",
     "storage.scan.rows_rejected_deleted",
     "storage.scan.encoded_space_conjuncts",
+    "storage.scan.conjuncts_pruned_by_range",
     "storage.scan.columns_decoded",
+    "storage.scan.agg_runs_processed",
+    "storage.scan.agg_code_space_groups",
+    "storage.scan.agg_fallbacks",
     "storage.segments.decode_requests",
     "storage.delta.rows_inserted",
     "storage.delta.stores_closed",

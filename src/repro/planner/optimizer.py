@@ -179,11 +179,17 @@ class Optimizer:
         batch_size: int | None = None,
         enable_bitmaps: bool = True,
         enable_segment_elimination: bool = True,
-        enable_encoded_eval: bool = True,
+        enable_encoded_eval: bool | None = None,
+        enable_encoded_agg: bool | None = None,
         dop: int = 1,
         optimize: bool = True,
     ) -> PhysicalPlan:
-        """Optimize (optionally) and build an executable physical plan."""
+        """Optimize (optionally) and build an executable physical plan.
+
+        ``enable_encoded_eval`` / ``enable_encoded_agg`` default to the
+        ``REPRO_ENCODED_EVAL`` / ``REPRO_ENCODED_AGG`` environment switches
+        (on unless set to ``0``/``false``/``no``/``off``).
+        """
         if optimize:
             plan = self.optimize(plan)
         builder_args = dict(
@@ -192,6 +198,7 @@ class Optimizer:
             enable_bitmaps=enable_bitmaps,
             enable_segment_elimination=enable_segment_elimination,
             enable_encoded_eval=enable_encoded_eval,
+            enable_encoded_agg=enable_encoded_agg,
             dop=dop,
         )
         if batch_size is not None:

@@ -13,6 +13,7 @@ into that scan before probing starts.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -25,7 +26,7 @@ from ..exec.operators.filter import BatchFilter
 from ..exec.operators.hash_aggregate import BatchHashAggregate
 from ..exec.operators.hash_join import BatchHashJoin
 from ..exec.operators.project import BatchProject
-from ..exec.operators.scan import ColumnStoreScan
+from ..exec.operators.scan import ColumnStoreScan, build_encoded_agg_request
 from ..exec.operators.sort import BatchSort, BatchTop
 from ..exec.operators.window import BatchWindow
 from ..exec.row_engine import (
@@ -59,6 +60,30 @@ BATCH = "batch"
 ROW = "row"
 AUTO = "auto"
 _MODES = {BATCH, ROW, AUTO}
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+def resolve_encoded_eval(explicit: bool | None) -> bool:
+    """Encoded predicate evaluation: explicit option wins, then the
+    ``REPRO_ENCODED_EVAL`` master switch (default on)."""
+    if explicit is not None:
+        return explicit
+    return _env_flag("REPRO_ENCODED_EVAL", True)
+
+
+def resolve_encoded_agg(explicit: bool | None) -> bool:
+    """Encoded aggregation: explicit option wins, then ``REPRO_ENCODED_AGG``,
+    then the ``REPRO_ENCODED_EVAL`` master switch — so one variable turns
+    the whole encoded-execution surface on or off for differential runs."""
+    if explicit is not None:
+        return explicit
+    return _env_flag("REPRO_ENCODED_AGG", _env_flag("REPRO_ENCODED_EVAL", True))
 
 
 class TableSource(Protocol):
@@ -109,7 +134,8 @@ class PhysicalBuilder:
         batch_size: int = DEFAULT_BATCH_SIZE,
         enable_bitmaps: bool = True,
         enable_segment_elimination: bool = True,
-        enable_encoded_eval: bool = True,
+        enable_encoded_eval: bool | None = None,
+        enable_encoded_agg: bool | None = None,
         dop: int = 1,
     ) -> None:
         if mode not in _MODES:
@@ -122,7 +148,8 @@ class PhysicalBuilder:
         self.batch_size = batch_size
         self.enable_bitmaps = enable_bitmaps
         self.enable_segment_elimination = enable_segment_elimination
-        self.enable_encoded_eval = enable_encoded_eval
+        self.enable_encoded_eval = resolve_encoded_eval(enable_encoded_eval)
+        self.enable_encoded_agg = resolve_encoded_agg(enable_encoded_agg)
         self.dop = dop
 
     def _new_grant(self) -> MemoryGrant:
@@ -278,6 +305,19 @@ class PhysicalBuilder:
                 grant=self._new_grant(),
                 batch_size=self.batch_size,
             )
+            # Aggregates sitting directly on an unsharded columnstore scan
+            # can pull encoded units (code-space keys, weighted runs)
+            # instead of decoded batches; the scan still falls back per
+            # unit for deltas and ineligible segments at runtime.
+            if (
+                self.enable_encoded_agg
+                and isinstance(child.op, ColumnStoreScan)
+                and child.op.shard is None
+                and not child.op.include_locators
+            ):
+                op.encoded_request = build_encoded_agg_request(
+                    node.group_keys, node.aggregates, child.op.columns
+                )
             return PhysResult(BATCH, op)
         return PhysResult(ROW, RowHashAggregate(child.op, node.group_keys, node.aggregates))
 

@@ -208,14 +208,24 @@ def _range_fraction_between(expr: Between, stats: TableStats) -> float:
     if col_stats.histogram is not None and col_stats.histogram.buckets:
         return col_stats.histogram.range_fraction(expr.low.value, expr.high.value)
     low, high = col_stats.min_value, col_stats.max_value
-    if low is None or high is None or isinstance(low, str) or high == low:
+    if (
+        low is None
+        or high is None
+        or isinstance(low, str)
+        or isinstance(high, str)
+        or high == low
+    ):
         return RANGE_DEFAULT_SELECTIVITY
     try:
         span = float(high) - float(low)
-        width = float(expr.high.value) - float(expr.low.value)
+        # Clamp the BETWEEN range to its overlap with [min, max]: literals
+        # outside the column's domain must not inflate the fraction.
+        overlap = min(float(expr.high.value), float(high)) - max(
+            float(expr.low.value), float(low)
+        )
     except (TypeError, ValueError):
         return RANGE_DEFAULT_SELECTIVITY
-    return max(0.0, min(1.0, width / span))
+    return max(0.0, min(1.0, overlap / span))
 
 
 def join_cardinality(

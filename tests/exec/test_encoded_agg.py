@@ -1,0 +1,320 @@
+"""Encoded-space aggregation: code-space GROUP BY, run-granular scalars.
+
+Every test compares the encoded fast path against the decoded path with
+exact equality (no rounding): the fast path must be bit-identical, not
+merely close. The Hypothesis property sweeps dict/RLE/bitpack segments
+with NULLs, deletes, and trickle-inserted delta rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import types
+from repro.exec.expressions import Between, Comparison, col, lit
+from repro.exec.operators.hash_aggregate import BatchHashAggregate, agg, count_star
+from repro.exec.operators.scan import (
+    ColumnStoreScan,
+    build_encoded_agg_request,
+)
+from repro.observability.registry import get_registry
+from repro.schema import schema
+from repro.storage.columnstore import GROUP, ColumnStoreIndex, RowLocator
+from repro.storage.config import StoreConfig
+from repro.storage.encodings import Scheme
+from repro.storage.rle import RleBlock
+
+
+def run_agg(store, columns, group_keys, aggs, predicate=None, encoded=True):
+    scan = ColumnStoreScan(store, columns, predicate=predicate)
+    op = BatchHashAggregate(scan, group_keys, aggs)
+    if encoded:
+        op.encoded_request = build_encoded_agg_request(group_keys, aggs, columns)
+        assert op.encoded_request is not None
+    rows = []
+    for batch in op.batches():
+        rows.extend(batch.to_rows())
+    return rows, scan
+
+
+def sort_key(row):
+    return tuple((v is None, str(type(v)), 0 if v is None else v) for v in row)
+
+
+def assert_same(fast_rows, slow_rows):
+    assert sorted(fast_rows, key=sort_key) == sorted(slow_rows, key=sort_key)
+
+
+@pytest.fixture
+def rle_store():
+    """run: value-encoded RLE; payload: bit-packed (defeats runs/dicts)."""
+    sch = schema(("run", types.INT, False), ("payload", types.INT, False))
+    store = ColumnStoreIndex(
+        sch, StoreConfig(rowgroup_size=5000, bulk_load_threshold=10, reorder_rows=False)
+    )
+    runs = np.repeat(np.arange(50, dtype=np.int64), 100)
+    payload = np.arange(5000, dtype=np.int64) * 997
+    store.bulk_load_columns({"run": runs, "payload": payload})
+    segment = next(store.directory.row_groups()).segment("run")
+    assert segment.scheme is Scheme.VALUE
+    assert isinstance(segment.stream, RleBlock)
+    return store
+
+
+@pytest.fixture
+def dict_store():
+    """k: VARCHAR dictionary with NULLs; g: small-int dictionary; v nullable."""
+    sch = schema(("k", types.VARCHAR), ("g", types.INT, False), ("v", types.INT))
+    store = ColumnStoreIndex(
+        sch, StoreConfig(rowgroup_size=400, bulk_load_threshold=1, reorder_rows=False)
+    )
+    # Wide-range, low-cardinality ints with no common scale so dictionary
+    # encoding beats value (bit-pack) encoding for the g segment.
+    primes = (3, 7919, 104729, 1299709, 15485863)
+    rows = [
+        (("a", "b", "c", None)[i % 4], primes[i % 5], i * 3 if i % 7 else None)
+        for i in range(1000)
+    ]
+    store.bulk_load([sch.coerce_row(r) for r in rows])
+    group = next(store.directory.row_groups())
+    assert group.segment("k").scheme is Scheme.DICT
+    assert group.segment("g").scheme is Scheme.DICT
+    return store
+
+
+SCALAR_AGGS = [
+    count_star("n"),
+    agg("count", "run", "c"),
+    agg("sum", "run", "s"),
+    agg("min", "run", "lo"),
+    agg("max", "run", "hi"),
+    agg("avg", "run", "mean"),
+]
+
+
+class TestRunGranularScalars:
+    def test_scalar_aggregates_without_decoding(self, rle_store):
+        fast, fast_scan = run_agg(rle_store, ["run"], [], SCALAR_AGGS)
+        slow, slow_scan = run_agg(rle_store, ["run"], [], SCALAR_AGGS, encoded=False)
+        assert fast == slow
+        # One run processed per RLE run, far fewer than rows aggregated.
+        assert 0 < fast_scan.stats.agg_runs_processed < 5000 / 10
+        assert fast_scan.stats.agg_fallbacks == 0
+        assert fast_scan.stats.columns_decoded == 0
+        assert slow_scan.stats.columns_decoded > 0
+
+    def test_predicate_folds_into_run_weights(self, rle_store):
+        predicate = Comparison(">=", col("run"), lit(40))
+        fast, fast_scan = run_agg(rle_store, ["run"], [], SCALAR_AGGS, predicate)
+        slow, _ = run_agg(rle_store, ["run"], [], SCALAR_AGGS, predicate, encoded=False)
+        assert fast == slow
+        assert fast[0][0] == 1000  # 10 runs of 100 survive
+        assert fast_scan.stats.columns_decoded == 0
+
+    def test_deletes_fold_into_run_weights(self, rle_store):
+        group = next(rle_store.directory.row_groups())
+        for position in range(0, 5000, 3):
+            rle_store.delete(RowLocator(GROUP, group.group_id, position))
+        fast, _ = run_agg(rle_store, ["run"], [], SCALAR_AGGS)
+        slow, _ = run_agg(rle_store, ["run"], [], SCALAR_AGGS, encoded=False)
+        assert fast == slow
+
+    def test_delta_rows_merge_via_fallback(self, rle_store):
+        sch = rle_store.schema
+        for i in range(25):
+            rle_store.insert(sch.coerce_row((1000 + i, i)))
+        fast, fast_scan = run_agg(rle_store, ["run"], [], SCALAR_AGGS)
+        slow, _ = run_agg(rle_store, ["run"], [], SCALAR_AGGS, encoded=False)
+        assert fast == slow
+        assert fast_scan.stats.agg_fallbacks >= 1  # the delta unit
+
+    def test_bitpacked_arg_falls_back_to_decode(self, rle_store):
+        aggs = [agg("sum", "payload", "s"), agg("min", "payload", "lo")]
+        fast, fast_scan = run_agg(rle_store, ["payload"], [], aggs)
+        slow, _ = run_agg(rle_store, ["payload"], [], aggs, encoded=False)
+        assert fast == slow
+        # The bit-packed argument is decoded, but inside the encoded unit
+        # (no whole-unit fallback) and runs aren't claimed for it.
+        assert fast_scan.stats.agg_fallbacks == 0
+        assert fast_scan.stats.agg_runs_processed == 0
+        assert fast_scan.stats.columns_decoded == 1
+
+
+class TestCodeSpaceGroupBy:
+    GROUP_AGGS = [count_star("n"), agg("sum", "v", "s"), agg("max", "v", "hi")]
+
+    def test_group_by_dict_codes(self, dict_store):
+        before = get_registry().counter("storage.scan.agg_code_space_groups")
+        fast, fast_scan = run_agg(dict_store, ["k", "v"], ["k"], self.GROUP_AGGS)
+        slow, _ = run_agg(dict_store, ["k", "v"], ["k"], self.GROUP_AGGS, encoded=False)
+        assert_same(fast, slow)
+        assert {row[0] for row in fast} == {"a", "b", "c", None}
+        assert fast_scan.stats.agg_fallbacks == 0
+        assert get_registry().counter("storage.scan.agg_code_space_groups") > before
+
+    def test_multi_key_group_by(self, dict_store):
+        columns = ["k", "g", "v"]
+        fast, scan = run_agg(dict_store, columns, ["k", "g"], self.GROUP_AGGS)
+        slow, _ = run_agg(dict_store, columns, ["k", "g"], self.GROUP_AGGS, encoded=False)
+        assert_same(fast, slow)
+        assert len(fast) == 20  # 4 k-values x 5 g-values
+        assert scan.stats.agg_fallbacks == 0
+
+    def test_group_by_with_predicate_and_deletes(self, dict_store):
+        for group in dict_store.directory.row_groups():
+            for position in range(0, group.row_count, 5):
+                dict_store.delete(RowLocator(GROUP, group.group_id, position))
+        predicate = Comparison("!=", col("k"), lit("b"))
+        columns = ["k", "v"]
+        fast, _ = run_agg(dict_store, columns, ["k"], self.GROUP_AGGS, predicate)
+        slow, _ = run_agg(dict_store, columns, ["k"], self.GROUP_AGGS, predicate, encoded=False)
+        assert_same(fast, slow)
+        assert all(row[0] != "b" for row in fast)
+
+    def test_archived_group_falls_back(self, dict_store):
+        dict_store.archive()
+        fast, scan = run_agg(dict_store, ["k", "v"], ["k"], self.GROUP_AGGS)
+        slow, _ = run_agg(dict_store, ["k", "v"], ["k"], self.GROUP_AGGS, encoded=False)
+        assert_same(fast, slow)
+        assert scan.stats.agg_fallbacks == scan.stats.units_seen
+
+
+class TestRangePruning:
+    def test_contained_conjunct_skips_decode(self, rle_store):
+        # payload spans [0, 4999*997]; the conjunct is true for every row,
+        # so the bit-packed segment's min/max alone settles it — no decode.
+        predicate = Between(col("payload"), lit(-1), lit(5000 * 997))
+        aggs = [count_star("n"), agg("sum", "run", "s")]
+        fast, fast_scan = run_agg(rle_store, ["run"], [], aggs, predicate)
+        slow, _ = run_agg(rle_store, ["run"], [], aggs, predicate, encoded=False)
+        assert fast == slow
+        assert fast[0][0] == 5000
+        assert fast_scan.stats.conjuncts_pruned_by_range == 1
+        assert fast_scan.stats.columns_decoded == 0
+
+    def test_partial_overlap_still_decodes(self, rle_store):
+        predicate = Comparison("<", col("payload"), lit(997 * 1000))
+        aggs = [count_star("n")]
+        fast, fast_scan = run_agg(rle_store, ["run"], [], aggs, predicate)
+        slow, _ = run_agg(rle_store, ["run"], [], aggs, predicate, encoded=False)
+        assert fast == slow == [(1000,)]
+        assert fast_scan.stats.conjuncts_pruned_by_range == 0
+        assert fast_scan.stats.columns_decoded == 1
+
+    def test_strict_bound_at_max_is_not_pruned(self):
+        sch = schema(("a", types.INT, False),)
+        store = ColumnStoreIndex(
+            sch, StoreConfig(rowgroup_size=100, bulk_load_threshold=1)
+        )
+        store.bulk_load([(i % 10,) for i in range(100)])
+        scan = ColumnStoreScan(
+            store, ["a"], predicate=Comparison("<", col("a"), lit(9))
+        )
+        rows = []
+        for batch in scan.batches():
+            rows.extend(batch.to_rows())
+        assert len(rows) == 90  # max == 9 must NOT satisfy a < 9 for all
+
+
+class TestFloatExactness:
+    def test_float_sum_stays_bit_identical(self):
+        sch = schema(("grp", types.VARCHAR, False), ("f", types.FLOAT, False))
+        store = ColumnStoreIndex(
+            sch, StoreConfig(rowgroup_size=300, bulk_load_threshold=1, reorder_rows=False)
+        )
+        rng = np.random.default_rng(11)
+        rows = [
+            (("x", "y")[i % 2], float(v))
+            for i, v in enumerate(rng.standard_normal(900))
+        ]
+        store.bulk_load([sch.coerce_row(r) for r in rows])
+        aggs = [agg("sum", "f", "s"), agg("avg", "f", "m"), agg("min", "f", "lo")]
+        fast, _ = run_agg(store, ["grp", "f"], ["grp"], aggs)
+        slow, _ = run_agg(store, ["grp", "f"], ["grp"], aggs, encoded=False)
+        # Exact ==, not approx: float accumulation order must match.
+        assert_same(fast, slow)
+
+        scalar = [agg("sum", "f", "s"), agg("avg", "f", "m")]
+        fast, scan = run_agg(store, ["f"], [], scalar)
+        slow, _ = run_agg(store, ["f"], [], scalar, encoded=False)
+        assert fast == slow
+        # Float SUM is order-sensitive: it must not have been weighted.
+        assert scan.stats.agg_runs_processed == 0
+
+
+# --------------------------------------------------------------------- #
+# Property: encoded == decoded over random segments
+# --------------------------------------------------------------------- #
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+opt_key = st.one_of(st.none(), st.sampled_from(["red", "green", "blue", ""]))
+run_val = st.integers(min_value=0, max_value=3)  # few values -> RLE-friendly
+opt_int = st.one_of(st.none(), st.integers(min_value=-1000, max_value=1000))
+flt = st.floats(min_value=-50, max_value=50, allow_nan=False, width=32)
+
+rows_strategy = st.lists(
+    st.tuples(opt_key, run_val, opt_int, flt), min_size=0, max_size=120
+)
+
+
+def build_store(rows, delete_step, trickle):
+    sch = schema(
+        ("k", types.VARCHAR),
+        ("r", types.INT, False),
+        ("v", types.INT),
+        ("f", types.FLOAT, False),
+    )
+    store = ColumnStoreIndex(
+        sch, StoreConfig(rowgroup_size=40, bulk_load_threshold=1, reorder_rows=False)
+    )
+    if rows:
+        store.bulk_load([sch.coerce_row(r) for r in rows])
+    if delete_step:
+        for group in store.directory.row_groups():
+            for position in range(0, group.row_count, delete_step):
+                store.delete(RowLocator(GROUP, group.group_id, position))
+    for row in trickle:
+        store.insert(sch.coerce_row(row))
+    return store
+
+
+@given(
+    rows=rows_strategy,
+    delete_step=st.sampled_from([0, 2, 3]),
+    trickle=st.lists(st.tuples(opt_key, run_val, opt_int, flt), max_size=10),
+)
+@SETTINGS
+def test_encoded_agg_equals_decoded(rows, delete_step, trickle):
+    store = build_store(rows, delete_step, trickle)
+    aggs = [
+        count_star("n"),
+        agg("count", "v", "c"),
+        agg("sum", "v", "s"),
+        agg("min", "v", "lo"),
+        agg("max", "v", "hi"),
+        agg("avg", "f", "m"),
+        agg("sum", "r", "rs"),
+    ]
+    columns = ["k", "r", "v", "f"]
+    for keys in ([], ["k"], ["k", "r"], ["r"]):
+        fast, _ = run_agg(store, columns, keys, aggs)
+        slow, _ = run_agg(store, columns, keys, aggs, encoded=False)
+        assert_same(fast, slow)
+
+
+@given(rows=rows_strategy)
+@SETTINGS
+def test_encoded_agg_with_predicate_equals_decoded(rows):
+    store = build_store(rows, 0, [])
+    aggs = [count_star("n"), agg("sum", "v", "s"), agg("min", "f", "lo")]
+    predicate = Comparison(">=", col("r"), lit(1))
+    columns = ["k", "r", "v", "f"]
+    for keys in ([], ["k"]):
+        fast, _ = run_agg(store, columns, keys, aggs, predicate)
+        slow, _ = run_agg(store, columns, keys, aggs, predicate, encoded=False)
+        assert_same(fast, slow)

@@ -162,3 +162,52 @@ class TestHistogramFromSegments:
         # Uniform min/max estimate would be ~ 400 * 11/1000 = 4.4 rows —
         # badly wrong; the histogram should land within 2x of truth.
         assert true_count / 2 <= estimate <= true_count * 2
+
+
+class TestBetweenRangeFraction:
+    """Regressions for `_range_fraction_between` guard and clamping bugs."""
+
+    def test_between_interpolates(self):
+        stats = stats_with("a", min_value=0, max_value=100)
+        estimate = selectivity(Between(col("a"), lit(10), lit(35)), stats)
+        assert estimate == pytest.approx(0.25)
+
+    def test_string_high_bound_falls_back_to_default(self):
+        # min_value numeric but max_value a string used to reach float()
+        # and raise-or-misestimate; both bounds must be guarded like in
+        # `_range_fraction`.
+        from repro.planner.stats import RANGE_DEFAULT_SELECTIVITY
+
+        stats = stats_with("a", min_value=0, max_value="zzz")
+        estimate = selectivity(Between(col("a"), lit(1), lit(2)), stats)
+        assert estimate == pytest.approx(RANGE_DEFAULT_SELECTIVITY)
+
+    def test_string_low_bound_falls_back_to_default(self):
+        from repro.planner.stats import RANGE_DEFAULT_SELECTIVITY
+
+        stats = stats_with("a", min_value="aaa", max_value="zzz")
+        estimate = selectivity(Between(col("a"), lit("b"), lit("c")), stats)
+        assert estimate == pytest.approx(RANGE_DEFAULT_SELECTIVITY)
+
+    def test_between_clamped_to_column_domain(self):
+        # BETWEEN -1000 AND 2000 over [0, 100] covers the whole column,
+        # not 30x of it; the raw width must be clamped to the overlap.
+        stats = stats_with("a", min_value=0, max_value=100)
+        estimate = selectivity(Between(col("a"), lit(-1000), lit(2000)), stats)
+        assert estimate == pytest.approx(1.0)
+
+    def test_between_partial_overlap_clamps_low_end(self):
+        # [-50, 50] overlaps [0, 100] in [0, 50] -> 50%, not 100/100.
+        stats = stats_with("a", min_value=0, max_value=100)
+        estimate = selectivity(Between(col("a"), lit(-50), lit(50)), stats)
+        assert estimate == pytest.approx(0.5)
+
+    def test_between_fully_outside_domain_is_zero(self):
+        stats = stats_with("a", min_value=0, max_value=100)
+        estimate = selectivity(Between(col("a"), lit(500), lit(600)), stats)
+        assert estimate == pytest.approx(0.0, abs=1e-6)
+
+    def test_inverted_between_is_zero(self):
+        stats = stats_with("a", min_value=0, max_value=100)
+        estimate = selectivity(Between(col("a"), lit(60), lit(40)), stats)
+        assert estimate == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,38 @@
+"""Differential battery: encoded-space execution on vs off.
+
+Every battery statement runs twice on the same database — once with
+encoded-space evaluation and aggregation enabled, once fully decoded —
+and the rows must match **exactly** (no float rounding): the compressed
+paths are required to be bit-identical, not merely close. Rows are
+sorted first because code-order group discovery may legitimately emit
+groups in a different order than row-order discovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .battery_lib import load_statements
+
+STATEMENTS = [s for s in load_statements() if not s.sql.lstrip().upper().startswith("EXPLAIN")]
+
+
+def _ids():
+    return [s.source for s in STATEMENTS]
+
+
+def _sort_key(row):
+    return tuple((v is None, str(type(v)), 0 if v is None else v) for v in row)
+
+
+@pytest.mark.parametrize("statement", STATEMENTS, ids=_ids())
+def test_encoded_matches_decoded(statement, battery_db):
+    encoded = battery_db.sql(
+        statement.sql, mode="batch", enable_encoded_eval=True, enable_encoded_agg=True
+    ).rows
+    decoded = battery_db.sql(
+        statement.sql, mode="batch", enable_encoded_eval=False, enable_encoded_agg=False
+    ).rows
+    assert sorted(encoded, key=_sort_key) == sorted(decoded, key=_sort_key), (
+        f"{statement.source}: encoded-space execution changed the result"
+    )
